@@ -1,0 +1,71 @@
+// Command sovbench regenerates every table and figure of the paper's
+// evaluation section and prints them as text reports (see EXPERIMENTS.md
+// for the paper-vs-measured record).
+//
+// Usage:
+//
+//	sovbench [-duration 120s] [-seed 1] [-points 4000] [-only fig10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"sov/internal/experiments"
+)
+
+func main() {
+	duration := flag.Duration("duration", 120*time.Second, "SoV characterization run length")
+	seed := flag.Int64("seed", 1, "seed")
+	points := flag.Int("points", 4000, "points per synthetic LiDAR scan")
+	only := flag.String("only", "", "run a single experiment: fig2|fig3a|fig3b|table1|table2|fig4a|fig4b|fig6|fig8|fig9|fig10|fig11a|fig11b|fig12|reactive|fusion|extensions|csv")
+	flag.Parse()
+
+	if *only == "" {
+		fmt.Print(experiments.All(*seed, *duration, *points))
+		return
+	}
+	switch strings.ToLower(*only) {
+	case "fig2":
+		fmt.Print(experiments.Fig2LatencyChain())
+	case "fig3a":
+		fmt.Print(experiments.Fig3aRequirement())
+	case "fig3b":
+		fmt.Print(experiments.Fig3bDrivingTime())
+	case "table1":
+		fmt.Print(experiments.Table1Power())
+	case "table2":
+		fmt.Print(experiments.Table2Cost())
+	case "fig4a":
+		fmt.Print(experiments.Fig4aReuse(*points))
+	case "fig4b":
+		fmt.Print(experiments.Fig4bTraffic(*points))
+	case "fig6":
+		fmt.Print(experiments.Fig6Platforms())
+	case "fig8":
+		fmt.Print(experiments.Fig8Mappings())
+	case "fig9":
+		fmt.Print(experiments.Fig9RPR())
+	case "fig10":
+		out, _ := experiments.Fig10Characterization(*seed, *duration)
+		fmt.Print(out)
+	case "fig11a":
+		fmt.Print(experiments.Fig11aDepthSync())
+	case "fig11b":
+		fmt.Print(experiments.Fig11bLocalizationSync())
+	case "fig12":
+		fmt.Print(experiments.Fig12SyncArchitecture())
+	case "reactive":
+		fmt.Print(experiments.ReactivePathStudy())
+	case "csv":
+		fmt.Print(experiments.SeriesCSV())
+	case "fusion":
+		fmt.Print(experiments.FusionStudy())
+	case "extensions":
+		fmt.Print(experiments.Extensions())
+	default:
+		fmt.Printf("unknown experiment %q\n", *only)
+	}
+}

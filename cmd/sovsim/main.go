@@ -1,0 +1,70 @@
+// Command sovsim runs the Systems-on-a-Vehicle simulation on the cruise
+// scenario and prints the Fig. 10-style latency characterization.
+//
+// Usage:
+//
+//	sovsim [-duration 120s] [-seed 1] [-no-fpga] [-no-sync] [-no-reactive]
+//	       [-no-radar-tracking] [-em-planner]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sov/internal/core"
+	"sov/internal/vehicle"
+)
+
+func main() {
+	duration := flag.Duration("duration", 120*time.Second, "simulated driving time")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	noFPGA := flag.Bool("no-fpga", false, "keep localization on the GPU (Fig. 8 ablation)")
+	noSync := flag.Bool("no-sync", false, "disable the hardware synchronizer")
+	noReactive := flag.Bool("no-reactive", false, "disarm the reactive safety path")
+	noRadarTrk := flag.Bool("no-radar-tracking", false, "use KCF visual tracking instead of radar")
+	emPlanner := flag.Bool("em-planner", false, "use the EM-style DP+QP planner instead of MPC")
+	shuttle := flag.Bool("shuttle", false, "run the 8-seater shuttle instead of the 2-seater pod")
+	tracePath := flag.String("trace", "", "write a JSONL per-cycle trace to this path")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	if *shuttle {
+		cfg.Vehicle = vehicle.ShuttleParams()
+	}
+	cfg.FPGAOffload = !*noFPGA
+	cfg.HardwareSync = !*noSync
+	cfg.ReactivePath = !*noReactive
+	cfg.RadarTracking = !*noRadarTrk
+	cfg.EMPlanner = *emPlanner
+
+	w := core.CruiseScenario(*seed)
+	s := core.New(cfg, w)
+	var tracer *core.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer = core.NewTracer(f)
+		s.AttachTracer(tracer)
+	}
+	rep := s.Run(*duration)
+	if tracer != nil {
+		if n, err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+		} else {
+			fmt.Printf("trace: %d records -> %s\n", n, *tracePath)
+		}
+	}
+	fmt.Printf("SoV cruise: %v simulated, seed %d\n", *duration, *seed)
+	fmt.Print(rep.Render())
+	if rep.Collisions > 0 {
+		fmt.Fprintln(os.Stderr, "warning: collisions occurred")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Command sovtrace re-analyzes an archived JSONL run trace (produced by
+// `sovsim -trace`), recomputing the headline latency and distance
+// statistics offline — the analysis half of the Fig. 1 vehicle-statistics
+// loop.
+//
+// Usage:
+//
+//	sovtrace <trace.jsonl>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sov/internal/core"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Println("usage: sovtrace <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sum, err := core.SummarizeTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cycles: %d (%d blocked)\n", sum.Cycles, sum.BlockedCycles)
+	fmt.Printf("distance: %.0f m\n", sum.DistanceM)
+	fmt.Printf("Tcomp: %s ms\n", sum.TcompMs)
+}

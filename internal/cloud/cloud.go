@@ -1,0 +1,194 @@
+// Package cloud models the offline half of Fig. 1 to the extent the
+// on-vehicle system interacts with it: the condensed hourly operational log
+// (the only real-time upload — a few KB/hour), the raw-data SSD spool that
+// is uploaded manually at end of day (up to ~1 TB/day), and the annotated
+// OpenStreetMap-style lane map the vehicles consume.
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LogEntry is one condensed operational record.
+type LogEntry struct {
+	At       time.Duration `json:"at_ns"`
+	Kind     string        `json:"kind"`
+	Severity int           `json:"severity"`
+	Note     string        `json:"note,omitempty"`
+}
+
+// OperationalLog accumulates events and condenses them into the small
+// hourly payload uploaded in real time.
+type OperationalLog struct {
+	entries []LogEntry
+	// MaxUploadBytes bounds one condensed payload (the paper: a few KB).
+	MaxUploadBytes int
+}
+
+// NewOperationalLog returns a log with the deployed 8 KB payload cap.
+func NewOperationalLog() *OperationalLog {
+	return &OperationalLog{MaxUploadBytes: 8 * 1024}
+}
+
+// Record appends an event.
+func (l *OperationalLog) Record(at time.Duration, kind string, severity int, note string) {
+	l.entries = append(l.entries, LogEntry{At: at, Kind: kind, Severity: severity, Note: note})
+}
+
+// Len returns the number of buffered entries.
+func (l *OperationalLog) Len() int { return len(l.entries) }
+
+// CondensedUpload produces the hourly payload: entries are aggregated per
+// kind with counts, and the highest-severity individual events are retained
+// until the byte budget is spent. The buffer is cleared.
+func (l *OperationalLog) CondensedUpload() ([]byte, error) {
+	type aggregate struct {
+		Kind  string `json:"kind"`
+		Count int    `json:"count"`
+		MaxAt int64  `json:"last_ns"`
+	}
+	counts := map[string]*aggregate{}
+	for _, e := range l.entries {
+		a, ok := counts[e.Kind]
+		if !ok {
+			a = &aggregate{Kind: e.Kind}
+			counts[e.Kind] = a
+		}
+		a.Count++
+		if int64(e.At) > a.MaxAt {
+			a.MaxAt = int64(e.At)
+		}
+	}
+	aggs := make([]aggregate, 0, len(counts))
+	for _, a := range counts {
+		aggs = append(aggs, *a)
+	}
+	sort.Slice(aggs, func(i, j int) bool { return aggs[i].Kind < aggs[j].Kind })
+
+	// Severity-sorted individual events, greedily packed.
+	crit := make([]LogEntry, len(l.entries))
+	copy(crit, l.entries)
+	sort.SliceStable(crit, func(i, j int) bool { return crit[i].Severity > crit[j].Severity })
+
+	payload := struct {
+		Aggregates []aggregate `json:"aggregates"`
+		Critical   []LogEntry  `json:"critical"`
+	}{Aggregates: aggs}
+	for _, e := range crit {
+		payload.Critical = append(payload.Critical, e)
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) > l.MaxUploadBytes {
+			payload.Critical = payload.Critical[:len(payload.Critical)-1]
+			break
+		}
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	l.entries = l.entries[:0]
+	return b, nil
+}
+
+// RawDataSpool models the on-vehicle SSD holding raw training data for the
+// manual end-of-day upload.
+type RawDataSpool struct {
+	// CapacityBytes is the SSD size.
+	CapacityBytes int64
+	usedBytes     int64
+	dropped       int64
+}
+
+// NewRawDataSpool returns a 2 TB spool (≈2 operating days of headroom at
+// the paper's 1 TB/day).
+func NewRawDataSpool() *RawDataSpool {
+	return &RawDataSpool{CapacityBytes: 2 << 40}
+}
+
+// Store records bytes; returns false (and counts the drop) when full.
+func (s *RawDataSpool) Store(bytes int64) bool {
+	if s.usedBytes+bytes > s.CapacityBytes {
+		s.dropped += bytes
+		return false
+	}
+	s.usedBytes += bytes
+	return true
+}
+
+// Drain simulates the end-of-day manual upload, returning bytes moved.
+func (s *RawDataSpool) Drain() int64 {
+	n := s.usedBytes
+	s.usedBytes = 0
+	return n
+}
+
+// Used returns occupied bytes; Dropped the bytes refused.
+func (s *RawDataSpool) Used() int64    { return s.usedBytes }
+func (s *RawDataSpool) Dropped() int64 { return s.dropped }
+
+// MapAnnotation is one semantic annotation on the base OSM-style map.
+type MapAnnotation struct {
+	LaneID  int
+	Kind    string // "crosswalk", "stop-line", "speed-limit", ...
+	Station float64
+	Value   string
+	Version int
+}
+
+// MapStore is the annotated map with versioned updates (the "map update"
+// arrow of Fig. 1).
+type MapStore struct {
+	version     int
+	annotations map[int][]MapAnnotation
+}
+
+// NewMapStore returns an empty map at version 0.
+func NewMapStore() *MapStore {
+	return &MapStore{annotations: make(map[int][]MapAnnotation)}
+}
+
+// Annotate adds an annotation and bumps the map version.
+func (m *MapStore) Annotate(a MapAnnotation) int {
+	m.version++
+	a.Version = m.version
+	m.annotations[a.LaneID] = append(m.annotations[a.LaneID], a)
+	return m.version
+}
+
+// Lane returns the annotations on a lane.
+func (m *MapStore) Lane(laneID int) []MapAnnotation {
+	return m.annotations[laneID]
+}
+
+// Version returns the current map version.
+func (m *MapStore) Version() int { return m.version }
+
+// DeltaSince returns annotations newer than the given version — what the
+// vehicle downloads on update.
+func (m *MapStore) DeltaSince(version int) []MapAnnotation {
+	var out []MapAnnotation
+	for _, as := range m.annotations {
+		for _, a := range as {
+			if a.Version > version {
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
+// String summarizes the store.
+func (m *MapStore) String() string {
+	n := 0
+	for _, as := range m.annotations {
+		n += len(as)
+	}
+	return fmt.Sprintf("mapstore v%d: %d annotations on %d lanes", m.version, n, len(m.annotations))
+}

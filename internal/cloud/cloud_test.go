@@ -1,0 +1,156 @@
+package cloud
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCondensedUploadSmallAndComplete(t *testing.T) {
+	l := NewOperationalLog()
+	for i := 0; i < 10000; i++ {
+		l.Record(time.Duration(i)*time.Second, "heartbeat", 0, "")
+	}
+	l.Record(time.Hour, "reactive-override", 3, "pedestrian cut-in at 4.2m")
+	b, err := l.CondensedUpload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: real-time uploads are a few KB despite hours of events.
+	if len(b) > 8*1024 {
+		t.Fatalf("payload = %d bytes, want <= 8 KB", len(b))
+	}
+	s := string(b)
+	if !strings.Contains(s, "heartbeat") || !strings.Contains(s, "reactive-override") {
+		t.Fatalf("payload missing aggregates: %s", s)
+	}
+	if !json.Valid(b) {
+		t.Fatal("invalid JSON")
+	}
+	if l.Len() != 0 {
+		t.Fatal("buffer not cleared after upload")
+	}
+}
+
+func TestCondensedUploadPrioritizesSeverity(t *testing.T) {
+	l := NewOperationalLog()
+	l.MaxUploadBytes = 700
+	for i := 0; i < 50; i++ {
+		l.Record(time.Duration(i)*time.Second, "noise", 0, strings.Repeat("x", 50))
+	}
+	l.Record(time.Minute, "collision-near-miss", 5, "critical")
+	b, err := l.CondensedUpload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "collision-near-miss") {
+		t.Fatal("critical event dropped before low-severity noise")
+	}
+	if len(b) > 700+200 {
+		t.Fatalf("payload = %d over budget", len(b))
+	}
+}
+
+func TestRawDataSpool(t *testing.T) {
+	s := &RawDataSpool{CapacityBytes: 1000}
+	if !s.Store(600) || !s.Store(300) {
+		t.Fatal("stores within capacity failed")
+	}
+	if s.Store(200) {
+		t.Fatal("overflow store should fail")
+	}
+	if s.Dropped() != 200 || s.Used() != 900 {
+		t.Fatalf("used=%d dropped=%d", s.Used(), s.Dropped())
+	}
+	if s.Drain() != 900 || s.Used() != 0 {
+		t.Fatal("drain wrong")
+	}
+}
+
+func TestDefaultSpoolHoldsTwoDays(t *testing.T) {
+	s := NewRawDataSpool()
+	day := int64(1) << 40 // ~1 TB/day per the paper
+	if !s.Store(day) || !s.Store(day) {
+		t.Fatal("spool should hold two days of raw data")
+	}
+}
+
+func TestMapStoreVersioning(t *testing.T) {
+	m := NewMapStore()
+	v1 := m.Annotate(MapAnnotation{LaneID: 1, Kind: "crosswalk", Station: 30})
+	v2 := m.Annotate(MapAnnotation{LaneID: 1, Kind: "stop-line", Station: 55})
+	v3 := m.Annotate(MapAnnotation{LaneID: 2, Kind: "speed-limit", Value: "20mph"})
+	if v1 != 1 || v2 != 2 || v3 != 3 || m.Version() != 3 {
+		t.Fatalf("versions = %d %d %d", v1, v2, v3)
+	}
+	if len(m.Lane(1)) != 2 || len(m.Lane(2)) != 1 {
+		t.Fatal("lane annotation counts wrong")
+	}
+	delta := m.DeltaSince(1)
+	if len(delta) != 2 || delta[0].Version != 2 || delta[1].Version != 3 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestDeltaSinceCurrentIsEmpty(t *testing.T) {
+	m := NewMapStore()
+	m.Annotate(MapAnnotation{LaneID: 1, Kind: "crosswalk"})
+	if d := m.DeltaSince(m.Version()); len(d) != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	payload := []byte(strings.Repeat(`{"kind":"heartbeat","at":123456}`, 200))
+	c, err := Compress(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(payload)/4 {
+		t.Fatalf("repetitive JSON compressed to %d/%d — ratio too weak", len(c), len(payload))
+	}
+	back, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(payload) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := Decompress([]byte{0xde, 0xad, 0xbe, 0xef, 0x01}); err == nil {
+		t.Fatal("garbage should not inflate")
+	}
+}
+
+func TestCompressionAcceleratorEstimate(t *testing.T) {
+	acc := DefaultCompressionAccelerator()
+	// 1 hour of raw data at the paper's ~1 TB/day is ~42 GB.
+	job := acc.Estimate(42 << 30)
+	if job.Duration < 100*time.Second || job.Duration > 400*time.Second {
+		t.Fatalf("42 GB at 200 MB/s = %v, want ~225 s", job.Duration)
+	}
+	if job.EnergyJ <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if z := (CompressionAccelerator{}).Estimate(100); z.Duration != 0 {
+		t.Fatal("degenerate accelerator should be zero, not Inf")
+	}
+}
+
+func TestHourlyUploadPlanLowDuty(t *testing.T) {
+	out := HourlyUploadPlan(42<<30, DefaultCompressionAccelerator(), 3*time.Millisecond)
+	if !strings.Contains(out, "duty") {
+		t.Fatalf("plan: %s", out)
+	}
+	// The whole point of RPR here: the compressor occupies the fabric a
+	// few percent of the hour, not permanently.
+	if !strings.Contains(out, "swaps") {
+		t.Fatal("plan should include swap cost")
+	}
+}

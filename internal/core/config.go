@@ -1,0 +1,101 @@
+// Package core wires the Systems-on-a-Vehicle together: synchronized
+// sensing, perception (localization ∥ scene understanding), MPC planning,
+// the CAN/ECU/actuator chain, and the radar/sonar reactive path that
+// overrides it all (Figs. 5 and 7). It runs as a discrete-event simulation
+// on a virtual clock, with stage latencies drawn from the calibrated
+// distributions of Sec. V-C, and produces the end-to-end latency
+// characterization of Fig. 10 plus safety outcomes for the scenario studies.
+package core
+
+import (
+	"time"
+
+	"sov/internal/detect"
+	"sov/internal/vehicle"
+)
+
+// Config selects the SoV build options; the zero-value-adjusted Default
+// reflects the deployed vehicle.
+type Config struct {
+	// Seed drives every random stream in the run.
+	Seed int64
+	// Vehicle is the physical platform.
+	Vehicle vehicle.Params
+	// TargetSpeed is the cruise set point (m/s).
+	TargetSpeed float64
+	// ControlRate is the planning/command rate (10 Hz deployed).
+	ControlRate float64
+	// PhysicsRate integrates vehicle dynamics.
+	PhysicsRate float64
+	// RadarRate drives the radar scans feeding the tracker.
+	RadarRate float64
+	// ReactiveRate is the safety-override check rate. The six radar units
+	// are staggered, so the fused forward view refreshes faster than any
+	// single 20 Hz unit — which is how the reactive path achieves its
+	// 30 ms reaction.
+	ReactiveRate float64
+
+	// FPGAOffload maps localization to the FPGA (our design). Disabling
+	// it shares the GPU and inflates perception (Fig. 8 ablation).
+	FPGAOffload bool
+	// HardwareSync enables the hardware synchronizer; without it the
+	// perception quality degrades per the Fig. 11 studies (modeled as
+	// extra detection-position noise and localization error).
+	HardwareSync bool
+	// ReactivePath arms the radar/sonar safety override.
+	ReactivePath bool
+	// RadarTracking replaces KCF visual tracking with radar + spatial
+	// synchronization (Sec. VI-B); when radar is unstable the KCF
+	// fallback cost is paid.
+	RadarTracking bool
+	// EMPlanner swaps the MPC for the 33×-cost EM planner (ablation).
+	EMPlanner bool
+	// RPREnabled time-shares the FPGA localization front-end between the
+	// feature-extract and feature-track bitstreams.
+	RPREnabled bool
+	// KeyframeEvery spaces feature-extraction keyframes (RPR swaps).
+	KeyframeEvery int
+
+	// Detector configures the oracle-noise detection channel.
+	Detector detect.Config
+
+	// ReactiveLatency is the radar→ECU override latency (30 ms deployed).
+	ReactiveLatency time.Duration
+	// ReactiveMarginM pads the reactive trigger distance.
+	ReactiveMarginM float64
+
+	// LocalizationErrorStd is the lateral/longitudinal standard deviation
+	// of the pose estimate the planner consumes (map-mode VIO at ~a few
+	// cm when synchronized). When HardwareSync is off it is inflated by
+	// SyncErrorFactor — the closed-loop consequence of Fig. 11.
+	LocalizationErrorStd float64
+	// SyncErrorFactor multiplies the localization error without the
+	// hardware synchronizer.
+	SyncErrorFactor float64
+}
+
+// DefaultConfig returns the deployed configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Vehicle:         vehicle.DefaultParams(),
+		TargetSpeed:     5.6,
+		ControlRate:     10,
+		PhysicsRate:     100,
+		RadarRate:       20,
+		ReactiveRate:    50,
+		FPGAOffload:     true,
+		HardwareSync:    true,
+		ReactivePath:    true,
+		RadarTracking:   true,
+		EMPlanner:       false,
+		RPREnabled:      true,
+		KeyframeEvery:   5,
+		Detector:        detect.DefaultConfig(),
+		ReactiveLatency: 30 * time.Millisecond,
+		ReactiveMarginM: 0.2,
+
+		LocalizationErrorStd: 0.04,
+		SyncErrorFactor:      12,
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"sov/internal/isp"
+	"sov/internal/sim"
+)
+
+// latencyDraw is one control cycle's stage latency decomposition.
+type latencyDraw struct {
+	Sensing      time.Duration
+	Depth        time.Duration
+	Detection    time.Duration
+	Tracking     time.Duration
+	Localization time.Duration
+	Perception   time.Duration
+	Planning     time.Duration
+	Tcomp        time.Duration
+}
+
+// latencyModel draws per-cycle stage latencies calibrated to Sec. V-C:
+// sensing ≈ 84 ms mean (≈50% of Tcomp), perception 77 ms on the deployed
+// mapping (120 ms without the FPGA offload), planning ≈ 3 ms; mean Tcomp
+// 164 ms, best ≈ 149 ms, with a long tail reaching the 740 ms worst case.
+type latencyModel struct {
+	cfg  Config
+	pipe isp.Pipeline
+	rng  *sim.RNG
+}
+
+func newLatencyModel(cfg Config, rng *sim.RNG) *latencyModel {
+	return &latencyModel{cfg: cfg, pipe: isp.DefaultPipeline(), rng: rng}
+}
+
+const (
+	exposure = 8 * time.Millisecond
+	readout  = 12 * time.Millisecond
+)
+
+// draw produces one cycle's latencies. complexity in [0,1] scales the
+// scene-dependent terms (dynamic scenes extract new features every frame,
+// slowing localization; more objects slow detection post-processing).
+// keyframe selects the feature-extraction front-end variant (slower than
+// tracking by ~2×: 20 ms vs 10 ms class).
+func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool) latencyDraw {
+	var d latencyDraw
+
+	// Sensing: exposure + readout + ISP/kernel/app pipeline.
+	d.Sensing = exposure + readout + m.pipe.Deliver(m.rng).Total
+	if !m.cfg.HardwareSync {
+		// Software sync adds an alignment search at the application
+		// layer (buffering + nearest-timestamp matching).
+		d.Sensing += time.Duration(m.rng.TruncNormal(4e6, 2e6, 0, 15e6))
+	}
+
+	// Perception tasks (deployed mapping: scene understanding on the GPU,
+	// localization on the FPGA).
+	d.Depth = time.Duration(m.rng.TruncNormal(40e6, 4e6, 32e6, 70e6))
+	det := m.rng.TruncNormal(69e6, 5e6, 60e6, 100e6) * (1 + 0.1*complexity)
+	// Rare inference stalls produce the field's long tail.
+	if m.rng.Bernoulli(0.012) {
+		det += m.rng.Exponential(120e6)
+		if det > 600e6 {
+			det = 600e6
+		}
+	}
+	d.Detection = time.Duration(det)
+
+	if m.cfg.RadarTracking && radarStable {
+		// Spatial synchronization on the CPU: ~1 ms (Sec. VI-B).
+		d.Tracking = time.Duration(m.rng.TruncNormal(1e6, 0.2e6, 0.5e6, 2e6))
+	} else {
+		// KCF fallback: ~100× the spatial-sync cost.
+		d.Tracking = time.Duration(m.rng.TruncNormal(17e6, 3e6, 10e6, 30e6))
+	}
+
+	// Localization: 25 ms median, 14 ms std, complexity-driven (Sec. V-C).
+	locMean := 21e6 + 16e6*complexity
+	loc := 10e6 + m.rng.LogNormal(0, 0.5)*locMean*0.7
+	if keyframe {
+		loc *= 1.5 // feature extraction vs tracking front-end
+	}
+	if loc > 120e6 {
+		loc = 120e6
+	}
+	d.Localization = time.Duration(loc)
+
+	su := d.Detection + d.Tracking
+	if d.Depth > su {
+		su = d.Depth
+	}
+	locLat := d.Localization
+	if !m.cfg.FPGAOffload {
+		// Sharing the GPU inflates both groups (Fig. 8: 77→120 ms).
+		su = time.Duration(float64(su) * 120.0 / 77.0)
+		locLat = time.Duration(float64(locLat) * 120.0 / 77.0)
+	}
+	d.Perception = su
+	if locLat > d.Perception {
+		d.Perception = locLat
+	}
+
+	// Planning (Sec. V-C: ~3 ms MPC; ~100 ms EM).
+	if m.cfg.EMPlanner {
+		d.Planning = time.Duration(m.rng.TruncNormal(100e6, 10e6, 70e6, 150e6))
+	} else {
+		d.Planning = time.Duration(m.rng.TruncNormal(3e6, 0.8e6, 1.5e6, 8e6))
+	}
+
+	d.Tcomp = d.Sensing + d.Perception + d.Planning
+	return d
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"time"
+
+	"sov/internal/mathx"
+	"sov/internal/sim"
+	"sov/internal/vehicle"
+	"sov/internal/world"
+)
+
+// CruiseScenario builds a long empty corridor for latency characterization
+// runs — the vehicle cruises at the target speed with occasional pedestrian
+// crossings far ahead to modulate scene complexity without forcing stops.
+func CruiseScenario(seed int64) *world.World {
+	rng := sim.NewRNG(seed)
+	w := world.NewCorridor(2000, rng)
+	// Distant, lane-clearing crossings every ~15 s keep the scene dynamic.
+	for x := 150.0; x < 1900; x += 90 {
+		t := time.Duration(x/5.6*0.7) * time.Second
+		w.AddCutInPedestrian(x, t, 2.0)
+	}
+	return w
+}
+
+// CutInScenario places a pedestrian that steps into the lane when the
+// vehicle is exactly triggerDistance meters away (at the configured speed),
+// the canonical obstacle-avoidance stress test of Fig. 3a.
+func CutInScenario(speed, triggerDistance float64) (*world.World, *world.Obstacle) {
+	rng := sim.NewRNG(7)
+	w := world.NewCorridor(400, rng)
+	// The pedestrian starts just off-lane and steps to the centerline
+	// quickly once triggered. The vehicle starts at x=0 at `speed`.
+	pedX := 120.0
+	triggerTime := time.Duration((pedX - triggerDistance) / speed * float64(time.Second))
+	ped := w.AddCutInPedestrian(pedX, triggerTime, 6.0) // fast step-in: ~0.5 s to centerline
+	return w, ped
+}
+
+// IntersectionScenario builds an unsignalized crossing: a vehicle-class
+// obstacle crosses the corridor perpendicular to travel, timed to conflict
+// with the ego vehicle unless it yields. crossSpeed sets how fast the
+// crosser moves (m/s).
+func IntersectionScenario(egoSpeed, crossSpeed float64) *world.World {
+	rng := sim.NewRNG(17)
+	w := world.NewCorridor(400, rng)
+	const conflictX = 110.0
+	// The crosser starts 30 m to the side and is timed so both reach the
+	// conflict point together if neither yields.
+	egoETA := conflictX / egoSpeed
+	startOffset := 30.0
+	crosserStart := time.Duration((egoETA - startOffset/crossSpeed) * float64(time.Second))
+	if crosserStart < 0 {
+		crosserStart = 0
+	}
+	w.Obstacles = append(w.Obstacles, &world.Obstacle{
+		ID: len(w.Obstacles) + 1, Kind: world.KindVehicle, Radius: 1.0, Height: 1.6,
+		Traj: world.LinearTrajectory(
+			mathx.Vec2{X: conflictX, Y: -startOffset},
+			mathx.Vec2{Y: crossSpeed}, crosserStart),
+	})
+	return w
+}
+
+// CutInOutcome is the result of one cut-in trial.
+type CutInOutcome struct {
+	Stopped       bool
+	Collided      bool
+	MinClearanceM float64
+	Reactive      bool // the reactive path fired
+}
+
+// RunCutIn executes a cut-in trial with the given config and trigger
+// distance and reports the outcome.
+func RunCutIn(cfg Config, triggerDistance float64, duration time.Duration) CutInOutcome {
+	w, ped := CutInScenario(cfg.TargetSpeed, triggerDistance)
+	s := New(cfg, w)
+	rep := s.Run(duration)
+	_ = ped
+	return CutInOutcome{
+		Stopped:       s.Vehicle().State().Speed < 0.05,
+		Collided:      rep.Collisions > 0,
+		MinClearanceM: rep.MinClearance,
+		Reactive:      rep.ReactiveEngagements > 0,
+	}
+}
+
+// RunSuddenObstacle executes the Eq. 1 worst case: an obstacle materializes
+// directly in the lane when the vehicle is exactly triggerDistance meters
+// away. Unlike a crossing pedestrian (which may clear the path on its own),
+// the outcome here is decided purely by distance vs. reaction latency:
+// inside the braking floor a collision is physically guaranteed.
+func RunSuddenObstacle(cfg Config, triggerDistance float64, duration time.Duration) CutInOutcome {
+	const obsX = 120.0
+	// triggerDistance is measured to the obstacle's near surface.
+	crossX := obsX - world.SuddenObstacleRadius - triggerDistance
+	// Pass 1: probe when this exact configuration's vehicle crosses the
+	// trigger position (heavier variants lag the nominal schedule).
+	probe := New(cfg, world.NewCorridor(400, sim.NewRNG(7)))
+	triggerTime := time.Duration(-1)
+	probe.OnPhysicsStep = func(now time.Duration, st vehicle.State) bool {
+		if st.Pos.X >= crossX {
+			triggerTime = now
+			return true
+		}
+		return false
+	}
+	probe.Run(duration)
+	if triggerTime < 0 {
+		triggerTime = time.Duration(crossX / cfg.TargetSpeed * float64(time.Second))
+	}
+
+	// Pass 2: identical run with the obstacle materializing at that time.
+	w := world.NewCorridor(400, sim.NewRNG(7))
+	w.AddSuddenObstacle(mathx.Vec2{X: obsX}, triggerTime)
+	s := New(cfg, w)
+	rep := s.Run(duration)
+	return CutInOutcome{
+		Stopped:       s.Vehicle().State().Speed < 0.05,
+		Collided:      rep.Collisions > 0,
+		MinClearanceM: rep.MinClearance,
+		Reactive:      rep.ReactiveEngagements > 0,
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sov/internal/canbus"
+	"sov/internal/detect"
+	"sov/internal/fusion"
+	"sov/internal/mathx"
+	"sov/internal/models"
+	"sov/internal/planning"
+	"sov/internal/rpr"
+	"sov/internal/sensors"
+	"sov/internal/sim"
+	"sov/internal/track"
+	"sov/internal/vehicle"
+	"sov/internal/world"
+)
+
+// planner abstracts the two planning backends.
+type planner interface {
+	Plan(planning.Input) planning.Plan
+}
+
+// SoV is the assembled on-vehicle system.
+type SoV struct {
+	cfg    Config
+	world  *world.World
+	route  world.Route
+	lane   world.Lane
+	engine *sim.Engine
+	rng    *sim.RNG
+
+	veh      *vehicle.Vehicle
+	ecu      *vehicle.ECU
+	bus      *canbus.Bus
+	det      *detect.Detector
+	radarRig *sensors.RadarRig
+	sonarRig *sensors.SonarRig
+	tracker  *track.RadarTracker
+	plan     planner
+	lat      *latencyModel
+	rprMgr   *rpr.Manager
+
+	battery *vehicle.Battery
+	tracer  *Tracer
+
+	report Report
+	cycle  int
+	seq    uint16
+
+	// OnPhysicsStep, when set, observes each physics step; returning true
+	// stops the run (used by scenario probes).
+	OnPhysicsStep func(now time.Duration, st vehicle.State) (stop bool)
+}
+
+// New assembles an SoV over a world. The vehicle starts at the head of the
+// world's first lane (or the origin when the world has no lanes).
+func New(cfg Config, w *world.World) *SoV {
+	rng := sim.NewRNG(cfg.Seed)
+	lane := world.Lane{Start: mathx.Vec2{}, End: mathx.Vec2{X: 1000}, Width: 3}
+	route := world.Route{Lanes: []world.Lane{lane}}
+	if len(w.Lanes) > 0 {
+		lane = w.Lanes[0]
+		route = world.Route{Lanes: w.Lanes}
+	}
+	veh := vehicle.New(cfg.Vehicle, vehicle.State{
+		Pos:     lane.Start,
+		Heading: lane.Direction().Angle(),
+		Speed:   cfg.TargetSpeed,
+	})
+	s := &SoV{
+		cfg:      cfg,
+		world:    w,
+		route:    route,
+		lane:     lane,
+		engine:   sim.NewEngine(),
+		rng:      rng,
+		veh:      veh,
+		ecu:      vehicle.NewECU(veh),
+		bus:      canbus.NewBus(),
+		det:      detect.New(cfg.Detector, w, rng.Fork()),
+		radarRig: sensors.NewRadarRig(w, rng.Fork()),
+		sonarRig: sensors.NewSonarRig(w, rng.Fork()),
+		tracker:  track.NewRadarTracker(),
+		lat:      newLatencyModel(cfg, rng.Fork()),
+	}
+	if cfg.EMPlanner {
+		s.plan = planning.NewEMPlanner(planning.DefaultEMConfig())
+	} else {
+		s.plan = planning.NewMPC(planning.DefaultMPCConfig())
+	}
+	if cfg.RPREnabled {
+		s.rprMgr = rpr.NewManager()
+	}
+	s.battery = vehicle.NewBattery(models.DefaultEnergyModel().CapacityKWh)
+	s.report.init()
+	return s
+}
+
+// Battery exposes the pack for long-run inspection.
+func (s *SoV) Battery() *vehicle.Battery { return s.battery }
+
+// Vehicle exposes the vehicle for scenario assertions.
+func (s *SoV) Vehicle() *vehicle.Vehicle { return s.veh }
+
+// pose returns the vehicle's current pose.
+func (s *SoV) pose() world.Pose {
+	st := s.veh.State()
+	return world.Pose{Pos: st.Pos, Heading: st.Heading}
+}
+
+// Run executes the simulation for the given duration and returns the
+// accumulated report.
+func (s *SoV) Run(duration time.Duration) *Report {
+	ctrlPeriod := time.Duration(float64(time.Second) / s.cfg.ControlRate)
+	physPeriod := time.Duration(float64(time.Second) / s.cfg.PhysicsRate)
+	reactiveRate := s.cfg.ReactiveRate
+	if reactiveRate <= 0 {
+		reactiveRate = s.cfg.RadarRate
+	}
+	reactivePeriod := time.Duration(float64(time.Second) / reactiveRate)
+
+	s.engine.Every(physPeriod, "physics", func() { s.physicsStep(physPeriod) })
+	s.engine.Every(ctrlPeriod, "control", s.controlCycle)
+	if s.cfg.ReactivePath {
+		s.engine.Every(reactivePeriod, "reactive", s.reactiveCheck)
+	}
+	s.engine.Run(duration)
+	s.report.finish(duration, s)
+	return &s.report
+}
+
+// physicsStep advances the vehicle and records safety metrics.
+func (s *SoV) physicsStep(dt time.Duration) {
+	// Drain the pack at Pv + PAD; an empty pack ends the drive.
+	load := s.cfg.Vehicle.BasePowerKW + models.DefaultPowerBudget().TotalKW()
+	if !s.battery.Drain(load, dt) {
+		s.engine.Stop()
+		return
+	}
+	st := s.veh.Step(dt)
+	now := s.engine.Now()
+	for _, o := range s.world.Obstacles {
+		pos, _ := o.At(now)
+		clear := st.Pos.DistTo(pos) - o.Radius
+		if clear < s.report.MinClearance {
+			s.report.MinClearance = clear
+		}
+		if clear < 0 && !s.report.collided[o.ID] {
+			s.report.collided[o.ID] = true
+			s.report.Collisions++
+		}
+	}
+	if s.ecu.OverrideActive() {
+		s.report.reactiveSteps++
+	}
+	off := s.lane.LateralOffset(st.Pos)
+	s.report.lateralSumSq += off * off
+	s.report.physSteps++
+	if s.OnPhysicsStep != nil && s.OnPhysicsStep(now, st) {
+		s.engine.Stop()
+	}
+}
+
+// controlCycle runs one proactive-path iteration: capture, perceive, plan,
+// and schedule the command's delivery after the drawn computing latency.
+func (s *SoV) controlCycle() {
+	s.cycle++
+	t0 := s.engine.Now()
+	pose := s.pose()
+	st := s.veh.State()
+
+	// Route following: hand over to the next leg as the vehicle
+	// progresses (the annotated lane map's job). The lookahead anchor
+	// starts the corner handover while the vehicle still has the speed to
+	// steer through it.
+	lookahead := mathx.Clamp(st.Speed*1.5, 2, 6)
+	anchor := pose.Pos.Add(mathx.Vec2{X: math.Cos(pose.Heading), Y: math.Sin(pose.Heading)}.Scale(lookahead))
+	s.lane = s.route.Lanes[s.route.ActiveLane(anchor)]
+
+	complexity := s.world.SceneComplexity(pose, t0)
+	keyframe := s.cfg.KeyframeEvery > 0 && s.cycle%s.cfg.KeyframeEvery == 0
+	radarStable := true
+	if p := s.radarRig.Units[0].Config.DropoutProb; p > 0 {
+		radarStable = !s.rng.Bernoulli(p)
+	}
+
+	d := s.lat.draw(complexity, keyframe, radarStable)
+	// RPR swap cost folds into localization when the front-end variant
+	// changes (Sec. V-B3: < 3 ms).
+	if s.rprMgr != nil {
+		bs := rpr.BitstreamFeatureTrack
+		if keyframe {
+			bs = rpr.BitstreamFeatureExtract
+		}
+		if res := s.rprMgr.Require(bs); res.Bytes > 0 {
+			d.Localization += res.Duration
+			if d.Localization > d.Perception {
+				d.Perception = d.Localization
+			}
+			d.Tcomp = d.Sensing + d.Perception + d.Planning
+		}
+	}
+	s.report.observe(d)
+
+	// Perception content from the capture-time world view. The tracker
+	// consumes the rig's returns converted to vehicle-frame polar.
+	dets := s.det.Detect(t0, pose)
+	var returns []sensors.RadarReturn
+	for _, rr := range s.radarRig.ScanAll(t0, pose) {
+		returns = append(returns, sensors.RadarReturn{
+			ObstacleID: rr.ObstacleID,
+			Range:      rr.VehiclePos.Norm(),
+			Bearing:    rr.VehicleBearing,
+			RadialVel:  rr.RadialVel,
+			Time:       rr.Time,
+		})
+	}
+	tracks := s.tracker.Observe(t0, returns)
+	var fused []fusion.FusedObject
+	if s.cfg.RadarTracking {
+		matches, ud, _ := fusion.SpatialSync(fusion.DefaultSpatialSyncConfig(), dets, tracks)
+		fused = fusion.FuseAll(matches, ud)
+	} else {
+		for _, dt := range dets {
+			fused = append(fused, fusion.FusedObject{Object: dt, Velocity: dt.Vel})
+		}
+	}
+
+	// The planner consumes the *estimated* pose. With the hardware
+	// synchronizer and map-mode VIO the error is a few centimeters;
+	// without synchronization it inflates per the Fig. 11 studies, and
+	// the lane-keeping loop feels it.
+	estPose := pose
+	locStd := s.cfg.LocalizationErrorStd
+	if !s.cfg.HardwareSync {
+		locStd *= s.cfg.SyncErrorFactor
+	}
+	if locStd > 0 {
+		estPose.Pos = estPose.Pos.Add(mathx.Vec2{
+			X: s.rng.Normal(0, locStd),
+			Y: s.rng.Normal(0, locStd),
+		})
+		estPose.Heading = mathx.WrapAngle(estPose.Heading + s.rng.Normal(0, locStd/2))
+	}
+
+	in := s.planningInput(estPose, st, fused)
+	p := s.plan.Plan(in)
+	if p.Blocked {
+		s.report.BlockedCycles++
+	}
+	s.recordTrace(d, complexity, len(fused), p.Blocked)
+
+	// The command is computed Tcomp after capture, then crosses the CAN
+	// bus (Tdata) and takes effect after Tmech inside the vehicle model.
+	s.seq++
+	cmd := p.Cmd
+	cmd.Seq = s.seq
+	frame, err := canbus.EncodeCommand(canbus.IDControlCommand, cmd)
+	if err != nil {
+		s.report.EncodeErrors++
+		return
+	}
+	tdata := s.bus.CommandLatency()
+	s.report.observeE2E(d.Tcomp + tdata + s.cfg.Vehicle.MechLatency)
+	s.engine.Schedule(d.Tcomp+tdata, "command-delivery", func() {
+		if err := s.ecu.Receive(frame); err == nil {
+			s.report.CommandsDelivered++
+		}
+	})
+}
+
+// planningInput converts fused perception output into lane coordinates.
+func (s *SoV) planningInput(pose world.Pose, st vehicle.State, fused []fusion.FusedObject) planning.Input {
+	laneDir := s.lane.Direction()
+	laneAngle := laneDir.Angle()
+	in := planning.Input{
+		Speed:       st.Speed,
+		LaneOffset:  s.lane.LateralOffset(pose.Pos),
+		HeadingErr:  mathx.WrapAngle(pose.Heading - laneAngle),
+		TargetSpeed: s.cfg.TargetSpeed,
+		LaneWidth:   s.lane.Width,
+	}
+	for _, f := range fused {
+		worldPos := detect.ToWorld(pose, f.Object.Pos)
+		rel := worldPos.Sub(pose.Pos)
+		sAlong := rel.Dot(laneDir)
+		if sAlong < -2 {
+			continue // behind
+		}
+		velWorld := f.Velocity
+		radius := f.Object.Radius
+		if radius < 0.3 {
+			radius = 0.3
+		}
+		in.Obstacles = append(in.Obstacles, planning.Obstacle{
+			S:      sAlong,
+			D:      s.lane.LateralOffset(worldPos),
+			VS:     velWorld.Dot(laneDir),
+			VD:     velWorld.Dot(mathx.Vec2{X: -laneDir.Y, Y: laneDir.X}),
+			Radius: radius,
+		})
+	}
+	return in
+}
+
+// reactiveCheck is the last line of defense: radar (and sonar) distances go
+// straight to the ECU, overriding the proactive path when an object is
+// inside the reaction envelope (Sec. IV).
+func (s *SoV) reactiveCheck() {
+	now := s.engine.Now()
+	pose := s.pose()
+	st := s.veh.State()
+	if st.Speed < 0.05 {
+		return
+	}
+	// Nearest object in the narrow forward cone, from the radar rig's
+	// forward sector backed by the sonar ring.
+	nearest := math.Inf(1)
+	if ret, ok := s.radarRig.NearestInSector(now, pose, 0, 0.35); ok {
+		nearest = ret.VehiclePos.Norm()
+	}
+	if d, ok := s.sonarRig.NearestInSector(now, pose, 0, 0.5); ok && d < nearest {
+		nearest = d
+	}
+	if math.IsInf(nearest, 1) {
+		return
+	}
+	// Trigger envelope: braking distance + distance covered during the
+	// reactive latency + mechanical latency + the obstacle's footprint
+	// margin.
+	reaction := (s.cfg.ReactiveLatency + s.cfg.Vehicle.MechLatency).Seconds()
+	trigger := s.veh.StopDistanceFrom(st.Speed) + st.Speed*reaction + s.cfg.ReactiveMarginM + 0.3
+	if nearest > trigger {
+		return
+	}
+	s.report.ReactiveEngagements++
+	frame, err := canbus.EncodeCommand(canbus.IDReactiveOverride, canbus.Command{EStop: true, Seq: s.seq})
+	if err != nil {
+		s.report.EncodeErrors++
+		return
+	}
+	s.engine.Schedule(s.cfg.ReactiveLatency, "reactive-override", func() {
+		_ = s.ecu.Receive(frame)
+	})
+}
+
+// String summarizes the SoV state.
+func (s *SoV) String() string {
+	st := s.veh.State()
+	return fmt.Sprintf("sov: t=%v pos=(%.1f,%.1f) v=%.1f cycles=%d",
+		s.engine.Now(), st.Pos.X, st.Pos.Y, st.Speed, s.cycle)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"sov/internal/stats"
+)
+
+// TraceRecord is one control cycle's telemetry — the "vehicle statistics"
+// stream the deployed fleet condenses and uploads (Fig. 1). Recorded as
+// JSON lines so field runs can be archived and re-analyzed offline.
+type TraceRecord struct {
+	Cycle          int     `json:"cycle"`
+	TimeMs         float64 `json:"t_ms"`
+	PosX           float64 `json:"x"`
+	PosY           float64 `json:"y"`
+	Speed          float64 `json:"v"`
+	SensingMs      float64 `json:"sensing_ms"`
+	PerceptionMs   float64 `json:"perception_ms"`
+	PlanningMs     float64 `json:"planning_ms"`
+	TcompMs        float64 `json:"tcomp_ms"`
+	Complexity     float64 `json:"complexity"`
+	Objects        int     `json:"objects"`
+	Blocked        bool    `json:"blocked,omitempty"`
+	ReactiveActive bool    `json:"reactive,omitempty"`
+}
+
+// Tracer serializes trace records to a writer.
+type Tracer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTracer wraps a writer.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// Record appends one line.
+func (t *Tracer) Record(r TraceRecord) {
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(append(b, '\n')); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Close flushes and reports the record count and first error.
+func (t *Tracer) Close() (int, error) {
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.n, t.err
+}
+
+// AttachTracer streams every control cycle of subsequent runs to the
+// tracer. Call before Run.
+func (s *SoV) AttachTracer(tr *Tracer) { s.tracer = tr }
+
+// TraceSummary re-analyzes an archived trace: the offline half of the
+// fleet telemetry loop.
+type TraceSummary struct {
+	Cycles        int
+	TcompMs       stats.Summary
+	DistanceM     float64
+	BlockedCycles int
+}
+
+// SummarizeTrace reads a JSONL trace and recomputes the run's headline
+// statistics, erroring on malformed lines.
+func SummarizeTrace(r io.Reader) (TraceSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	tcomp := stats.NewSample()
+	var out TraceSummary
+	var lastX, lastY float64
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return out, fmt.Errorf("core: bad trace line %d: %w", out.Cycles+1, err)
+		}
+		out.Cycles++
+		tcomp.Observe(rec.TcompMs)
+		if rec.Blocked {
+			out.BlockedCycles++
+		}
+		if !first {
+			out.DistanceM += math.Hypot(rec.PosX-lastX, rec.PosY-lastY)
+		}
+		lastX, lastY = rec.PosX, rec.PosY
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	out.TcompMs = tcomp.Summarize()
+	return out, nil
+}
+
+// recordTrace is called from controlCycle when a tracer is attached.
+func (s *SoV) recordTrace(d latencyDraw, complexity float64, objects int, blocked bool) {
+	if s.tracer == nil {
+		return
+	}
+	st := s.veh.State()
+	s.tracer.Record(TraceRecord{
+		Cycle:          s.cycle,
+		TimeMs:         s.engine.Now().Seconds() * 1000,
+		PosX:           st.Pos.X,
+		PosY:           st.Pos.Y,
+		Speed:          st.Speed,
+		SensingMs:      ms(d.Sensing),
+		PerceptionMs:   ms(d.Perception),
+		PlanningMs:     ms(d.Planning),
+		TcompMs:        ms(d.Tcomp),
+		Complexity:     complexity,
+		Objects:        objects,
+		Blocked:        blocked,
+		ReactiveActive: s.ecu.OverrideActive(),
+	})
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsEveryCycle(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(DefaultConfig(), CruiseScenario(3))
+	tr := NewTracer(&buf)
+	s.AttachTracer(tr)
+	rep := s.Run(20 * time.Second)
+	n, err := tr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rep.Cycles {
+		t.Fatalf("trace records = %d, cycles = %d", n, rep.Cycles)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != n {
+		t.Fatalf("lines = %d, records = %d", lines, n)
+	}
+}
+
+func TestTraceSummaryMatchesReport(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(DefaultConfig(), CruiseScenario(3))
+	tr := NewTracer(&buf)
+	s.AttachTracer(tr)
+	rep := s.Run(30 * time.Second)
+	if _, err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SummarizeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cycles != rep.Cycles {
+		t.Fatalf("cycles %d vs %d", sum.Cycles, rep.Cycles)
+	}
+	// Offline re-analysis reproduces the live statistics.
+	if math.Abs(sum.TcompMs.Mean-rep.Tcomp.Mean()) > 0.01 {
+		t.Fatalf("trace mean %.2f vs live %.2f", sum.TcompMs.Mean, rep.Tcomp.Mean())
+	}
+	// Distance from cycle positions approximates the odometer (cycle
+	// sampling misses sub-cycle curvature, so allow slack).
+	if math.Abs(sum.DistanceM-rep.DistanceM) > rep.DistanceM*0.05 {
+		t.Fatalf("trace distance %.1f vs odometer %.1f", sum.DistanceM, rep.DistanceM)
+	}
+}
+
+func TestSummarizeTraceRejectsGarbage(t *testing.T) {
+	if _, err := SummarizeTrace(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	// Empty trace is fine.
+	sum, err := SummarizeTrace(strings.NewReader(""))
+	if err != nil || sum.Cycles != 0 {
+		t.Fatalf("empty trace: %+v err=%v", sum, err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package detect implements the object-detection stage of the perception
+// pipeline. The compute substrate is a real CNN forward pass (internal/nn);
+// detection *quality* is modeled with an oracle-plus-noise channel because
+// the paper's models are trained on proprietary field data we do not have
+// (see DESIGN.md, substitutions). The channel reproduces the two failure
+// modes the paper designs the reactive path around: missed objects and
+// false positives (Sec. III-C, Sec. IV).
+package detect
+
+import (
+	"math"
+	"time"
+
+	"sov/internal/mathx"
+	"sov/internal/sim"
+	"sov/internal/world"
+)
+
+// Object is one detected object in the vehicle frame.
+type Object struct {
+	ID      int // stable per ground-truth obstacle within a run
+	Kind    world.ObstacleKind
+	Range   float64 // meters
+	Bearing float64 // radians from vehicle heading
+	// Pos/Vel are the vehicle-frame Cartesian estimates.
+	Pos mathx.Vec2
+	Vel mathx.Vec2
+	// Radius is the estimated footprint radius (from the detection box
+	// extent); the planner needs it to know whether it can steer around.
+	Radius float64
+	// Confidence is the detector score in [0,1].
+	Confidence float64
+	// FalsePositive marks hallucinated objects (ground-truth flag used
+	// only by evaluation code, never by the pipeline).
+	FalsePositive bool
+	Time          time.Duration
+}
+
+// Config tunes the oracle-noise channel.
+type Config struct {
+	// Recall is the per-object detection probability at close range.
+	Recall float64
+	// RangeFalloff reduces recall linearly to zero at MaxRange.
+	MaxRange float64
+	// FOV is the camera's horizontal field of view.
+	FOV float64
+	// RangeNoiseStd / BearingNoiseStd perturb estimates.
+	RangeNoiseStd   float64
+	BearingNoiseStd float64
+	// FalsePositiveRate is the expected hallucinations per frame.
+	FalsePositiveRate float64
+	// ClassAccuracy is the probability the class label is correct.
+	ClassAccuracy float64
+}
+
+// DefaultConfig returns a field-calibrated channel: high but imperfect
+// recall, occasional false positives — enough to exercise the reactive
+// path.
+func DefaultConfig() Config {
+	return Config{
+		Recall:            0.97,
+		MaxRange:          35,
+		FOV:               math.Pi / 2,
+		RangeNoiseStd:     0.2, // coarse depth is fine: the paper tolerates ~0.2 m
+		BearingNoiseStd:   0.01,
+		FalsePositiveRate: 0.01,
+		ClassAccuracy:     0.95,
+	}
+}
+
+// Detector runs the oracle-noise channel over ground-truth visibility.
+type Detector struct {
+	Config Config
+	World  *world.World
+	rng    *sim.RNG
+
+	frames int
+	missed int
+	fps    int
+}
+
+// New returns a detector bound to a world.
+func New(cfg Config, w *world.World, rng *sim.RNG) *Detector {
+	return &Detector{Config: cfg, World: w, rng: rng}
+}
+
+// Detect returns the detections for a frame captured at time t from pose.
+func (d *Detector) Detect(t time.Duration, pose world.Pose) []Object {
+	d.frames++
+	cfg := d.Config
+	truth := d.World.VisibleObstacles(pose, t, cfg.MaxRange, cfg.FOV)
+	out := make([]Object, 0, len(truth))
+	for _, det := range truth {
+		p := cfg.Recall * (1 - det.Range/cfg.MaxRange*0.5)
+		if !d.rng.Bernoulli(p) {
+			d.missed++
+			continue
+		}
+		rng := det.Range + d.rng.Normal(0, cfg.RangeNoiseStd)
+		brg := det.Bearing + d.rng.Normal(0, cfg.BearingNoiseStd)
+		kind := det.Obstacle.Kind
+		if !d.rng.Bernoulli(cfg.ClassAccuracy) {
+			kind = world.ObstacleKind((int(kind) + 1) % 4)
+		}
+		obj := Object{
+			ID:         det.Obstacle.ID,
+			Kind:       kind,
+			Range:      rng,
+			Bearing:    brg,
+			Radius:     math.Max(0.1, det.Obstacle.Radius*(1+d.rng.Normal(0, 0.1))),
+			Confidence: mathx.Clamp(d.rng.Normal(0.85, 0.08), 0, 1),
+			Time:       t,
+		}
+		obj.Pos = polarToVehicle(rng, brg)
+		// Velocity is NOT produced by single-frame detection; tracking
+		// (radar or KCF) supplies it. World velocity retained for eval.
+		obj.Vel = det.Vel
+		out = append(out, obj)
+	}
+	// False positives appear at random plausible locations.
+	if cfg.FalsePositiveRate > 0 && d.rng.Bernoulli(cfg.FalsePositiveRate) {
+		d.fps++
+		rng := d.rng.Uniform(3, cfg.MaxRange)
+		brg := d.rng.Uniform(-cfg.FOV/2, cfg.FOV/2)
+		out = append(out, Object{
+			ID:            -d.fps, // negative IDs mark hallucinations
+			Kind:          world.KindStatic,
+			Range:         rng,
+			Bearing:       brg,
+			Pos:           polarToVehicle(rng, brg),
+			Radius:        0.3,
+			Confidence:    mathx.Clamp(d.rng.Normal(0.6, 0.1), 0, 1),
+			FalsePositive: true,
+			Time:          t,
+		})
+	}
+	return out
+}
+
+// Stats reports frames processed, objects missed, and false positives.
+func (d *Detector) Stats() (frames, missed, falsePositives int) {
+	return d.frames, d.missed, d.fps
+}
+
+func polarToVehicle(r, bearing float64) mathx.Vec2 {
+	return mathx.Vec2{X: r * math.Cos(bearing), Y: r * math.Sin(bearing)}
+}
+
+// ToWorld converts a vehicle-frame detection position to world frame.
+func ToWorld(pose world.Pose, vehicleFrame mathx.Vec2) mathx.Vec2 {
+	return pose.Pos.Add(vehicleFrame.Rotate(pose.Heading))
+}

@@ -1,0 +1,107 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"sov/internal/sim"
+	"sov/internal/world"
+)
+
+// RangeBandStats is the detection quality in one range band.
+type RangeBandStats struct {
+	LoM, HiM        float64
+	Truths          int
+	Detected        int
+	Recall          float64
+	MeanAbsRangeErr float64
+}
+
+// EvalResult is a detector evaluation over many frames.
+type EvalResult struct {
+	Frames         int
+	Bands          []RangeBandStats
+	FalsePositives int
+	Precision      float64
+	ClassAccuracy  float64
+}
+
+// Evaluate measures the detector against ground truth over frames frames of
+// a standing scene: per-range-band recall, range accuracy, precision, and
+// class accuracy. This is the field-evaluation loop that decides when a
+// retrained model ships (the Fig. 1 model-update cycle).
+func Evaluate(cfg Config, w *world.World, pose world.Pose, frames int, seed int64) EvalResult {
+	d := New(cfg, w, sim.NewRNG(seed))
+	edges := []float64{0, 10, 20, cfg.MaxRange}
+	res := EvalResult{Frames: frames}
+	for i := 0; i < len(edges)-1; i++ {
+		res.Bands = append(res.Bands, RangeBandStats{LoM: edges[i], HiM: edges[i+1]})
+	}
+	classRight, classTotal, truePos := 0, 0, 0
+	var rangeErrSum []float64 = make([]float64, len(res.Bands))
+
+	for f := 0; f < frames; f++ {
+		t := time.Duration(f) * 33 * time.Millisecond
+		truths := w.VisibleObstacles(pose, t, cfg.MaxRange, cfg.FOV)
+		objs := d.Detect(t, pose)
+		// Index detections by ground-truth ID (the oracle channel keeps
+		// the association; a field evaluation would match by IoU).
+		byID := map[int]Object{}
+		for _, o := range objs {
+			if o.FalsePositive {
+				res.FalsePositives++
+				continue
+			}
+			byID[o.ID] = o
+			truePos++
+		}
+		for _, tr := range truths {
+			for bi := range res.Bands {
+				b := &res.Bands[bi]
+				if tr.Range >= b.LoM && tr.Range < b.HiM {
+					b.Truths++
+					if o, ok := byID[tr.Obstacle.ID]; ok {
+						b.Detected++
+						rangeErrSum[bi] += math.Abs(o.Range - tr.Range)
+						classTotal++
+						if o.Kind == tr.Obstacle.Kind {
+							classRight++
+						}
+					}
+				}
+			}
+		}
+	}
+	for bi := range res.Bands {
+		b := &res.Bands[bi]
+		if b.Truths > 0 {
+			b.Recall = float64(b.Detected) / float64(b.Truths)
+		}
+		if b.Detected > 0 {
+			b.MeanAbsRangeErr = rangeErrSum[bi] / float64(b.Detected)
+		}
+	}
+	if truePos+res.FalsePositives > 0 {
+		res.Precision = float64(truePos) / float64(truePos+res.FalsePositives)
+	}
+	if classTotal > 0 {
+		res.ClassAccuracy = float64(classRight) / float64(classTotal)
+	}
+	return res
+}
+
+// Render formats the evaluation as a table.
+func (r EvalResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "detector evaluation over %d frames:\n", r.Frames)
+	fmt.Fprintf(&b, "  %-12s %-8s %-10s %s\n", "band (m)", "recall", "truths", "range err (m)")
+	for _, band := range r.Bands {
+		fmt.Fprintf(&b, "  %4.0f-%-6.0f  %-8.2f %-10d %.2f\n",
+			band.LoM, band.HiM, band.Recall, band.Truths, band.MeanAbsRangeErr)
+	}
+	fmt.Fprintf(&b, "  precision %.3f, class accuracy %.3f, false positives %d\n",
+		r.Precision, r.ClassAccuracy, r.FalsePositives)
+	return b.String()
+}

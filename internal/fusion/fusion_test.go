@@ -1,0 +1,174 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sov/internal/detect"
+	"sov/internal/mathx"
+	"sov/internal/sensors"
+	"sov/internal/track"
+)
+
+func det(x, y float64, id int) detect.Object {
+	return detect.Object{ID: id, Pos: mathx.Vec2{X: x, Y: y}, Range: math.Hypot(x, y)}
+}
+
+func rtr(x, y float64, vx, vy float64, id int) track.RadarTrack {
+	return track.RadarTrack{ID: id, Pos: mathx.Vec2{X: x, Y: y}, Vel: mathx.Vec2{X: vx, Y: vy}}
+}
+
+func TestSpatialSyncMatchesProjectedTargets(t *testing.T) {
+	cfg := DefaultSpatialSyncConfig()
+	// Vehicle-frame target at (12, 1): camera sees it at (11.2, 1),
+	// radar at (10, 1) in their own mount frames.
+	dets := []detect.Object{det(11.2, 1, 1)}
+	tracks := []track.RadarTrack{rtr(10, 1, -2, 0, 5)}
+	matches, ud, ut := SpatialSync(cfg, dets, tracks)
+	if len(matches) != 1 || len(ud) != 0 || len(ut) != 0 {
+		t.Fatalf("matches=%d ud=%d ut=%d", len(matches), len(ud), len(ut))
+	}
+	if matches[0].Distance > 0.01 {
+		t.Fatalf("projection residual = %v, want ~0", matches[0].Distance)
+	}
+}
+
+func TestSpatialSyncGreedyUniqueAssignment(t *testing.T) {
+	cfg := DefaultSpatialSyncConfig()
+	cfg.RadarMount = mathx.Vec2{}
+	cfg.CameraMount = mathx.Vec2{}
+	// Two detections near one track: only the closest pairs.
+	dets := []detect.Object{det(10, 0, 1), det(10.5, 0, 2)}
+	tracks := []track.RadarTrack{rtr(10.1, 0, 0, 0, 5)}
+	matches, ud, _ := SpatialSync(cfg, dets, tracks)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	if matches[0].Detection.ID != 1 {
+		t.Fatalf("matched det %d, want 1 (closest)", matches[0].Detection.ID)
+	}
+	if len(ud) != 1 || ud[0].ID != 2 {
+		t.Fatalf("unmatched = %+v", ud)
+	}
+}
+
+func TestSpatialSyncGateRejectsFar(t *testing.T) {
+	cfg := DefaultSpatialSyncConfig()
+	cfg.RadarMount = mathx.Vec2{}
+	cfg.CameraMount = mathx.Vec2{}
+	dets := []detect.Object{det(10, 0, 1)}
+	tracks := []track.RadarTrack{rtr(10, 5, 0, 0, 5)}
+	matches, ud, ut := SpatialSync(cfg, dets, tracks)
+	if len(matches) != 0 || len(ud) != 1 || len(ut) != 1 {
+		t.Fatalf("gate failed: m=%d ud=%d ut=%d", len(matches), len(ud), len(ut))
+	}
+}
+
+func TestFuseAllVelocityTransfer(t *testing.T) {
+	cfg := DefaultSpatialSyncConfig()
+	cfg.RadarMount = mathx.Vec2{}
+	cfg.CameraMount = mathx.Vec2{}
+	dets := []detect.Object{det(10, 0, 1), det(20, 3, 2)}
+	tracks := []track.RadarTrack{rtr(10, 0, -3, 0, 5)}
+	m, ud, _ := SpatialSync(cfg, dets, tracks)
+	fused := FuseAll(m, ud)
+	if len(fused) != 2 {
+		t.Fatalf("fused = %d", len(fused))
+	}
+	var radarObj, visionObj *FusedObject
+	for i := range fused {
+		if fused[i].FromRadar {
+			radarObj = &fused[i]
+		} else {
+			visionObj = &fused[i]
+		}
+	}
+	if radarObj == nil || visionObj == nil {
+		t.Fatalf("fused set wrong: %+v", fused)
+	}
+	if radarObj.Velocity.X != -3 {
+		t.Fatalf("radar velocity not transferred: %v", radarObj.Velocity)
+	}
+	// Closing speed of an approaching object is positive.
+	if radarObj.ClosingSpeed() <= 0 {
+		t.Fatalf("closing speed = %v, want > 0", radarObj.ClosingSpeed())
+	}
+}
+
+func TestClosingSpeedZeroRange(t *testing.T) {
+	f := FusedObject{Object: detect.Object{}, Velocity: mathx.Vec2{X: 1}}
+	if f.ClosingSpeed() != 0 {
+		t.Fatal("zero-range closing speed should be 0")
+	}
+}
+
+func TestGPSVIODirectPositionWhenAvailable(t *testing.T) {
+	g := NewGPSVIO()
+	fix := sensors.GPSFix{Pos: mathx.Vec2{X: 100, Y: 50}, Valid: true}
+	got := g.Update(0, mathx.Vec2{X: 90, Y: 50}, fix)
+	if got != fix.Pos {
+		t.Fatalf("fused = %v, want GPS position directly", got)
+	}
+	if !g.Healthy() {
+		t.Fatal("filter should be healthy after a fix")
+	}
+}
+
+func TestGPSVIOCorrectsDriftDuringOutage(t *testing.T) {
+	g := NewGPSVIO()
+	// VIO drifted by (10, 0): odometry says (90, 0), truth is (100, 0).
+	for i := 0; i < 50; i++ {
+		fix := sensors.GPSFix{Pos: mathx.Vec2{X: 100 + float64(i)*0.1, Y: 0}, Valid: true}
+		g.Update(time.Duration(i)*100*time.Millisecond, mathx.Vec2{X: 90 + float64(i)*0.1}, fix)
+	}
+	// Offset should have converged to ~10.
+	if math.Abs(g.Offset().X-10) > 0.5 {
+		t.Fatalf("offset = %v, want ~10", g.Offset())
+	}
+	// Outage: fused position = corrected VIO.
+	got := g.Update(6*time.Second, mathx.Vec2{X: 95.2}, sensors.GPSFix{Valid: false})
+	if math.Abs(got.X-105.2) > 0.5 {
+		t.Fatalf("outage position = %v, want corrected VIO ~105.2", got)
+	}
+}
+
+func TestGPSVIOUncertaintyShrinksWithFixes(t *testing.T) {
+	g := NewGPSVIO()
+	before := g.Uncertainty()
+	for i := 0; i < 10; i++ {
+		g.Update(time.Duration(i)*100*time.Millisecond, mathx.Vec2{},
+			sensors.GPSFix{Pos: mathx.Vec2{}, Valid: true})
+	}
+	if g.Uncertainty() >= before {
+		t.Fatalf("uncertainty did not shrink: %v -> %v", before, g.Uncertainty())
+	}
+	// And grows again during outage.
+	mid := g.Uncertainty()
+	for i := 0; i < 100; i++ {
+		g.Update(time.Second, mathx.Vec2{}, sensors.GPSFix{Valid: false})
+	}
+	if g.Uncertainty() <= mid {
+		t.Fatal("uncertainty should grow during outage")
+	}
+}
+
+func TestSpatialSyncOperationCount(t *testing.T) {
+	// The paper: spatial synchronization is ~100× cheaper than KCF. The
+	// benchmark pair in bench_test.go measures the wall-clock ratio; here
+	// we sanity-check it completes instantly on a realistic load.
+	cfg := DefaultSpatialSyncConfig()
+	var dets []detect.Object
+	var tracks []track.RadarTrack
+	for i := 0; i < 10; i++ {
+		dets = append(dets, det(10+float64(i), float64(i%3), i))
+		tracks = append(tracks, rtr(8.8+float64(i), float64(i%3), -1, 0, i))
+	}
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		SpatialSync(cfg, dets, tracks)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("spatial sync too slow: %v for 1000 iterations", el)
+	}
+}

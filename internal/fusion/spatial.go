@@ -1,0 +1,130 @@
+// Package fusion implements the "augmenting computing with sensors"
+// case studies of Sec. VI-B: spatial synchronization, which matches objects
+// detected by vision with objects tracked by radar (replacing the
+// compute-heavy KCF visual tracker), and a lightweight EKF that fuses GPS
+// fixes with VIO odometry (replacing compute-heavy drift-correction
+// algorithms). Both run in ~1 ms — one to two orders of magnitude cheaper
+// than the compute they displace.
+package fusion
+
+import (
+	"sort"
+
+	"sov/internal/detect"
+	"sov/internal/mathx"
+	"sov/internal/track"
+)
+
+// Match pairs a vision detection with a radar track.
+type Match struct {
+	Detection detect.Object
+	Track     track.RadarTrack
+	// Distance is the matching cost (meters in the vehicle frame).
+	Distance float64
+}
+
+// SpatialSyncConfig tunes the matcher.
+type SpatialSyncConfig struct {
+	// MaxDistance gates a pairing, in meters after projection.
+	MaxDistance float64
+	// RadarMount is the radar's position offset in the vehicle frame
+	// (the projection from radar coordinates to camera coordinates).
+	RadarMount mathx.Vec2
+	// CameraMount is the camera's position offset in the vehicle frame.
+	CameraMount mathx.Vec2
+}
+
+// DefaultSpatialSyncConfig places the forward radar on the bumper and the
+// stereo camera at the windshield.
+func DefaultSpatialSyncConfig() SpatialSyncConfig {
+	return SpatialSyncConfig{
+		MaxDistance: 1.5,
+		RadarMount:  mathx.Vec2{X: 2.0},
+		CameraMount: mathx.Vec2{X: 0.8},
+	}
+}
+
+// SpatialSync projects radar tracks into the camera frame and greedily
+// matches them with vision detections by Euclidean distance (smallest cost
+// first, each side used at most once). It returns the matches plus the
+// unmatched leftovers from both sides. The entire operation is a few
+// hundred arithmetic operations — the paper measures ~1 ms on the CPU,
+// about 100× cheaper than running KCF.
+func SpatialSync(cfg SpatialSyncConfig, dets []detect.Object, tracks []track.RadarTrack) (matches []Match, unmatchedDets []detect.Object, unmatchedTracks []track.RadarTrack) {
+	type cand struct {
+		di, ti int
+		d      float64
+	}
+	var cands []cand
+	for di, d := range dets {
+		// Detection position is camera-relative; shift to vehicle frame.
+		dPos := d.Pos.Add(cfg.CameraMount)
+		for ti, tr := range tracks {
+			// Track position is radar-relative; shift to vehicle frame.
+			tPos := tr.Pos.Add(cfg.RadarMount)
+			dist := dPos.DistTo(tPos)
+			if dist <= cfg.MaxDistance {
+				cands = append(cands, cand{di: di, ti: ti, d: dist})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	usedD := make([]bool, len(dets))
+	usedT := make([]bool, len(tracks))
+	for _, c := range cands {
+		if usedD[c.di] || usedT[c.ti] {
+			continue
+		}
+		usedD[c.di] = true
+		usedT[c.ti] = true
+		matches = append(matches, Match{Detection: dets[c.di], Track: tracks[c.ti], Distance: c.d})
+	}
+	for i, d := range dets {
+		if !usedD[i] {
+			unmatchedDets = append(unmatchedDets, d)
+		}
+	}
+	for i, tr := range tracks {
+		if !usedT[i] {
+			unmatchedTracks = append(unmatchedTracks, tr)
+		}
+	}
+	return matches, unmatchedDets, unmatchedTracks
+}
+
+// FusedObject is the perception output after spatial synchronization: the
+// vision detection's class and position with the radar track's velocity.
+type FusedObject struct {
+	Object detect.Object
+	// Velocity is the radar-derived vehicle-frame velocity — the quantity
+	// vision-only pipelines would need KCF across frames to estimate.
+	Velocity mathx.Vec2
+	// FromRadar reports whether velocity came from radar (true) or had to
+	// fall back to vision tracking (false).
+	FromRadar bool
+}
+
+// FuseAll combines matches and leftovers into the perception output list:
+// matched objects carry radar velocity; unmatched detections fall back to
+// vision (velocity unknown, flagged for the KCF fallback path).
+func FuseAll(matches []Match, unmatchedDets []detect.Object) []FusedObject {
+	out := make([]FusedObject, 0, len(matches)+len(unmatchedDets))
+	for _, m := range matches {
+		out = append(out, FusedObject{Object: m.Detection, Velocity: m.Track.Vel, FromRadar: true})
+	}
+	for _, d := range unmatchedDets {
+		out = append(out, FusedObject{Object: d})
+	}
+	return out
+}
+
+// ClosingSpeed returns the component of the fused object's velocity toward
+// the vehicle (positive = approaching), used by collision checks.
+func (f FusedObject) ClosingSpeed() float64 {
+	r := f.Object.Pos.Norm()
+	if r == 0 {
+		return 0
+	}
+	los := f.Object.Pos.Scale(1 / r)
+	return -f.Velocity.Dot(los)
+}

@@ -1,0 +1,95 @@
+package isp
+
+import (
+	"math"
+
+	"sov/internal/vision"
+)
+
+// The pixel side of the ISP: the actual processing the latency model's
+// "isp" stage stands for. A minimal grayscale chain — black-level
+// subtraction, 3×3 denoise, gamma, unsharp mask — operating on the vision
+// substrate's images. Benchmarked to show where sensing's compute actually
+// goes (the paper: the camera pipeline dominates sensing latency).
+
+// PixelPipelineConfig tunes the processing chain.
+type PixelPipelineConfig struct {
+	// BlackLevel is subtracted from every pixel (sensor pedestal).
+	BlackLevel float32
+	// DenoiseStrength in [0,1] blends the 3×3 box blur.
+	DenoiseStrength float32
+	// Gamma applies v^(1/Gamma) tone mapping.
+	Gamma float32
+	// SharpenAmount adds (v - blur(v)) * amount.
+	SharpenAmount float32
+}
+
+// DefaultPixelPipeline matches the deployed tuning.
+func DefaultPixelPipeline() PixelPipelineConfig {
+	return PixelPipelineConfig{BlackLevel: 0.02, DenoiseStrength: 0.4, Gamma: 2.2, SharpenAmount: 0.3}
+}
+
+// Process runs the chain, returning a new image.
+func (c PixelPipelineConfig) Process(in *vision.Image) *vision.Image {
+	out := in.Clone()
+	// Black level.
+	if c.BlackLevel != 0 {
+		for i, v := range out.Pix {
+			v -= c.BlackLevel
+			if v < 0 {
+				v = 0
+			}
+			out.Pix[i] = v
+		}
+	}
+	// Denoise: blend with a 3x3 box blur.
+	if c.DenoiseStrength > 0 {
+		blur := boxBlur3(out)
+		a := c.DenoiseStrength
+		for i := range out.Pix {
+			out.Pix[i] = out.Pix[i]*(1-a) + blur.Pix[i]*a
+		}
+	}
+	// Gamma.
+	if c.Gamma > 0 && c.Gamma != 1 {
+		inv := 1 / float64(c.Gamma)
+		for i, v := range out.Pix {
+			if v < 0 {
+				v = 0
+			}
+			out.Pix[i] = float32(math.Pow(float64(v), inv))
+		}
+	}
+	// Unsharp mask.
+	if c.SharpenAmount > 0 {
+		blur := boxBlur3(out)
+		for i := range out.Pix {
+			v := out.Pix[i] + (out.Pix[i]-blur.Pix[i])*c.SharpenAmount
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			out.Pix[i] = v
+		}
+	}
+	return out
+}
+
+// boxBlur3 is a 3x3 mean filter with border clamping.
+func boxBlur3(im *vision.Image) *vision.Image {
+	out := vision.NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			var s float32
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					s += im.At(x+dx, y+dy)
+				}
+			}
+			out.Set(x, y, s/9)
+		}
+	}
+	return out
+}

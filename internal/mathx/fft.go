@@ -1,0 +1,86 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 Cooley–Tukey FFT of x. len(x) must be a
+// power of two. Set inverse to compute the (scaled) inverse transform.
+func FFT(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("mathx: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+// FFT2D computes the 2-D FFT of a rows×cols image stored row-major in x,
+// in place. Both dimensions must be powers of two.
+func FFT2D(x []complex128, rows, cols int, inverse bool) error {
+	if rows*cols != len(x) {
+		return fmt.Errorf("mathx: FFT2D shape %dx%d != len %d", rows, cols, len(x))
+	}
+	// Rows.
+	for r := 0; r < rows; r++ {
+		if err := FFT(x[r*cols:(r+1)*cols], inverse); err != nil {
+			return err
+		}
+	}
+	// Columns (gather/scatter through a scratch buffer).
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = x[r*cols+c]
+		}
+		if err := FFT(col, inverse); err != nil {
+			return err
+		}
+		for r := 0; r < rows; r++ {
+			x[r*cols+c] = col[r]
+		}
+	}
+	return nil
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

@@ -1,0 +1,96 @@
+package mathx
+
+import "math"
+
+// Quat is a unit quaternion (W + Xi + Yj + Zk) representing a rotation.
+// The identity rotation is Quat{W: 1}.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity returns the identity rotation.
+func QuatIdentity() Quat { return Quat{W: 1} }
+
+// QuatFromAxisAngle builds a quaternion rotating by angle radians about axis.
+func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
+	axis = axis.Normalized()
+	s, c := math.Sincos(angle / 2)
+	return Quat{W: c, X: axis.X * s, Y: axis.Y * s, Z: axis.Z * s}
+}
+
+// QuatFromYaw builds a rotation about +Z by yaw radians.
+func QuatFromYaw(yaw float64) Quat {
+	return QuatFromAxisAngle(Vec3{Z: 1}, yaw)
+}
+
+// Mul returns the Hamilton product q*r (apply r first, then q).
+func (q Quat) Mul(r Quat) Quat {
+	return Quat{
+		W: q.W*r.W - q.X*r.X - q.Y*r.Y - q.Z*r.Z,
+		X: q.W*r.X + q.X*r.W + q.Y*r.Z - q.Z*r.Y,
+		Y: q.W*r.Y - q.X*r.Z + q.Y*r.W + q.Z*r.X,
+		Z: q.W*r.Z + q.X*r.Y - q.Y*r.X + q.Z*r.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalized rescales q to unit length. The identity is returned for a
+// degenerate zero quaternion so downstream rotations stay finite.
+func (q Quat) Normalized() Quat {
+	n := q.Norm()
+	if n == 0 {
+		return QuatIdentity()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Rotate applies the rotation to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q * (0,v) * q⁻¹ expanded to avoid building intermediates.
+	t := Vec3{q.X, q.Y, q.Z}.Cross(v).Scale(2)
+	return v.Add(t.Scale(q.W)).Add(Vec3{q.X, q.Y, q.Z}.Cross(t))
+}
+
+// Integrate advances the orientation by angular velocity omega (rad/s, body
+// frame) over dt seconds using the exponential map.
+func (q Quat) Integrate(omega Vec3, dt float64) Quat {
+	theta := omega.Norm() * dt
+	if theta < 1e-12 {
+		// Small-angle first-order update.
+		dq := Quat{W: 1, X: omega.X * dt / 2, Y: omega.Y * dt / 2, Z: omega.Z * dt / 2}
+		return q.Mul(dq).Normalized()
+	}
+	axis := omega.Normalized()
+	return q.Mul(QuatFromAxisAngle(axis, theta)).Normalized()
+}
+
+// Yaw extracts the heading (rotation about +Z) in radians.
+func (q Quat) Yaw() float64 {
+	siny := 2 * (q.W*q.Z + q.X*q.Y)
+	cosy := 1 - 2*(q.Y*q.Y+q.Z*q.Z)
+	return math.Atan2(siny, cosy)
+}
+
+// RotationMatrix returns the 3x3 rotation matrix equivalent of q as a
+// row-major Mat.
+func (q Quat) RotationMatrix() *Mat {
+	m := NewMat(3, 3)
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	m.Set(0, 0, 1-2*(y*y+z*z))
+	m.Set(0, 1, 2*(x*y-w*z))
+	m.Set(0, 2, 2*(x*z+w*y))
+	m.Set(1, 0, 2*(x*y+w*z))
+	m.Set(1, 1, 1-2*(x*x+z*z))
+	m.Set(1, 2, 2*(y*z-w*x))
+	m.Set(2, 0, 2*(x*z-w*y))
+	m.Set(2, 1, 2*(y*z+w*x))
+	m.Set(2, 2, 1-2*(x*x+y*y))
+	return m
+}

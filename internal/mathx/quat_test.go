@@ -1,0 +1,107 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuatIdentityRotate(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	if got := QuatIdentity().Rotate(v); got.DistTo(v) > 1e-12 {
+		t.Fatalf("identity rotate = %v", got)
+	}
+}
+
+func TestQuatAxisAngle(t *testing.T) {
+	q := QuatFromAxisAngle(Vec3{Z: 1}, math.Pi/2)
+	got := q.Rotate(Vec3{1, 0, 0})
+	want := Vec3{0, 1, 0}
+	if got.DistTo(want) > 1e-12 {
+		t.Fatalf("rotate x by 90 about z = %v, want %v", got, want)
+	}
+}
+
+func TestQuatYaw(t *testing.T) {
+	for _, yaw := range []float64{0, 0.3, -1.2, math.Pi / 2, 3} {
+		q := QuatFromYaw(yaw)
+		if !almostEq(q.Yaw(), yaw, 1e-12) {
+			t.Errorf("yaw roundtrip %v -> %v", yaw, q.Yaw())
+		}
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	qa := QuatFromYaw(0.5)
+	qb := QuatFromYaw(0.25)
+	v := Vec3{1, 0, 0}
+	composed := qa.Mul(qb).Rotate(v)
+	sequential := qa.Rotate(qb.Rotate(v))
+	if composed.DistTo(sequential) > 1e-12 {
+		t.Fatalf("composition mismatch: %v vs %v", composed, sequential)
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	q := QuatFromAxisAngle(Vec3{1, 1, 0.3}, 0.7)
+	v := Vec3{0.2, -3, 1.5}
+	back := q.Conj().Rotate(q.Rotate(v))
+	if back.DistTo(v) > 1e-12 {
+		t.Fatalf("conj not inverse: %v vs %v", back, v)
+	}
+}
+
+func TestQuatRotatePreservesNorm(t *testing.T) {
+	f := func(ax, ay, az, angle, vx, vy, vz float64) bool {
+		for _, x := range []float64{ax, ay, az, angle, vx, vy, vz} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		axis := Vec3{math.Mod(ax, 10), math.Mod(ay, 10), math.Mod(az, 10)}
+		if axis.Norm() == 0 {
+			axis = Vec3{Z: 1}
+		}
+		v := Vec3{math.Mod(vx, 1e3), math.Mod(vy, 1e3), math.Mod(vz, 1e3)}
+		q := QuatFromAxisAngle(axis, math.Mod(angle, 2*math.Pi))
+		return almostEq(q.Rotate(v).Norm(), v.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuatIntegrate(t *testing.T) {
+	// Integrating a constant yaw rate of 1 rad/s for 1 s in small steps
+	// should yield ~1 rad of yaw.
+	q := QuatIdentity()
+	omega := Vec3{Z: 1}
+	for i := 0; i < 1000; i++ {
+		q = q.Integrate(omega, 0.001)
+	}
+	if !almostEq(q.Yaw(), 1.0, 1e-6) {
+		t.Fatalf("integrated yaw = %v, want 1.0", q.Yaw())
+	}
+	if !almostEq(q.Norm(), 1, 1e-9) {
+		t.Fatalf("norm drifted: %v", q.Norm())
+	}
+}
+
+func TestQuatIntegrateZeroRate(t *testing.T) {
+	q := QuatFromYaw(0.4)
+	q2 := q.Integrate(Vec3{}, 0.01)
+	if !almostEq(q2.Yaw(), 0.4, 1e-12) {
+		t.Fatalf("zero-rate integrate changed yaw: %v", q2.Yaw())
+	}
+}
+
+func TestQuatRotationMatrixAgrees(t *testing.T) {
+	q := QuatFromAxisAngle(Vec3{0.3, -0.2, 0.9}, 1.1)
+	m := q.RotationMatrix()
+	v := Vec3{1.5, -0.5, 2}
+	mv := m.MulVec([]float64{v.X, v.Y, v.Z})
+	qv := q.Rotate(v)
+	if !almostEq(mv[0], qv.X, 1e-12) || !almostEq(mv[1], qv.Y, 1e-12) || !almostEq(mv[2], qv.Z, 1e-12) {
+		t.Fatalf("matrix %v vs quat %v", mv, qv)
+	}
+}

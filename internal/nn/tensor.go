@@ -1,0 +1,196 @@
+// Package nn is a minimal CNN inference engine — the DNN substrate behind
+// the object-detection workload (Table III: YOLO/Mask R-CNN). The paper's
+// models are trained on proprietary field data; we run untrained (but
+// deterministic) weights through the same computational structure so that
+// the compute shape of DNN detection is real, while detection *accuracy* is
+// modeled separately (internal/detect). Inference is single-threaded
+// CPU code: the platform package maps its cost onto GPU/TX2/FPGA operating
+// points.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a CHW float32 tensor.
+type Tensor struct {
+	C, H, W int
+	Data    []float32
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(c, h, w int) *Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%dx%d", c, h, w))
+	}
+	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// At returns element (c, y, x).
+func (t *Tensor) At(c, y, x int) float32 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set assigns element (c, y, x).
+func (t *Tensor) Set(c, y, x int, v float32) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// Numel returns the element count.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Layer is one network stage.
+type Layer interface {
+	Forward(in *Tensor) *Tensor
+	// FLOPs estimates multiply-accumulate work for an input shape; the
+	// platform models scale latency with it.
+	FLOPs(c, h, w int) int64
+	// OutShape gives the output shape for an input shape.
+	OutShape(c, h, w int) (int, int, int)
+	Name() string
+}
+
+// Conv2D is a stride-s same/valid 2-D convolution with bias and optional
+// fused ReLU.
+type Conv2D struct {
+	InC, OutC int
+	K         int // kernel size (square)
+	Stride    int
+	Pad       int
+	Weights   []float32 // [outC][inC][K][K]
+	Bias      []float32
+	ReLU      bool
+}
+
+// NewConv2D builds a conv layer with He-initialized deterministic weights.
+func NewConv2D(inC, outC, k, stride, pad int, relu bool, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, ReLU: relu}
+	n := outC * inC * k * k
+	c.Weights = make([]float32, n)
+	std := float32(math.Sqrt(2.0 / float64(inC*k*k)))
+	for i := range c.Weights {
+		c.Weights[i] = float32(rng.NormFloat64()) * std
+	}
+	c.Bias = make([]float32, outC)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return fmt.Sprintf("conv%dx%d/%d->%d", c.K, c.K, c.InC, c.OutC) }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(_, h, w int) (int, int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return c.OutC, oh, ow
+}
+
+// FLOPs implements Layer.
+func (c *Conv2D) FLOPs(_, h, w int) int64 {
+	_, oh, ow := c.OutShape(0, h, w)
+	return int64(c.OutC) * int64(oh) * int64(ow) * int64(c.InC) * int64(c.K*c.K) * 2
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *Tensor) *Tensor {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("nn: conv input channels %d != %d", in.C, c.InC))
+	}
+	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
+	out := NewTensor(oc, oh, ow)
+	for o := 0; o < oc; o++ {
+		wBase := o * c.InC * c.K * c.K
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := c.Bias[o]
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					wc := wBase + ic*c.K*c.K
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						rowBase := (ic*in.H + iy) * in.W
+						wRow := wc + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							sum += c.Weights[wRow+kx] * in.Data[rowBase+ix]
+						}
+					}
+				}
+				if c.ReLU && sum < 0 {
+					sum = 0
+				}
+				out.Set(o, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2 is a 2×2 stride-2 max pool.
+type MaxPool2 struct{}
+
+// Name implements Layer.
+func (MaxPool2) Name() string { return "maxpool2" }
+
+// OutShape implements Layer.
+func (MaxPool2) OutShape(c, h, w int) (int, int, int) { return c, h / 2, w / 2 }
+
+// FLOPs implements Layer.
+func (MaxPool2) FLOPs(c, h, w int) int64 { return int64(c) * int64(h/2) * int64(w/2) * 4 }
+
+// Forward implements Layer.
+func (MaxPool2) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.C, in.H/2, in.W/2)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				m := in.At(c, 2*y, 2*x)
+				if v := in.At(c, 2*y, 2*x+1); v > m {
+					m = v
+				}
+				if v := in.At(c, 2*y+1, 2*x); v > m {
+					m = v
+				}
+				if v := in.At(c, 2*y+1, 2*x+1); v > m {
+					m = v
+				}
+				out.Set(c, y, x, m)
+			}
+		}
+	}
+	return out
+}
+
+// Network is an ordered stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the stack.
+func (n *Network) Forward(in *Tensor) *Tensor {
+	t := in
+	for _, l := range n.Layers {
+		t = l.Forward(t)
+	}
+	return t
+}
+
+// TotalFLOPs estimates the MAC work for an input shape.
+func (n *Network) TotalFLOPs(c, h, w int) int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.FLOPs(c, h, w)
+		c, h, w = l.OutShape(c, h, w)
+	}
+	return total
+}
+
+// Sigmoid is the logistic function used on the detection head outputs.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}

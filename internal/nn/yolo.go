@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math/rand"
+
+	"sov/internal/vision"
+)
+
+// GridBox is one raw detection-head output cell after decoding: a box in
+// normalized image coordinates with an objectness score and class logits.
+type GridBox struct {
+	CX, CY, W, H float32 // normalized [0,1]
+	Objectness   float32
+	ClassScores  []float32
+}
+
+// YOLOHead is a single-scale grid detector (the "YOLO" of Table III): a
+// small convolutional backbone followed by a 1×1 head predicting
+// (objectness, cx, cy, w, h, classes...) per grid cell.
+type YOLOHead struct {
+	Backbone *Network
+	Head     *Conv2D
+	Classes  int
+	GridH    int
+	GridW    int
+	inC      int
+	inH      int
+	inW      int
+}
+
+// NewTinyYOLO builds the detector for the given input size with
+// deterministic weights. Three conv+pool stages reduce the input by 8×.
+func NewTinyYOLO(inH, inW, classes int, seed int64) *YOLOHead {
+	rng := rand.New(rand.NewSource(seed))
+	backbone := &Network{Layers: []Layer{
+		NewConv2D(1, 8, 3, 1, 1, true, rng),
+		MaxPool2{},
+		NewConv2D(8, 16, 3, 1, 1, true, rng),
+		MaxPool2{},
+		NewConv2D(16, 32, 3, 1, 1, true, rng),
+		MaxPool2{},
+	}}
+	per := 5 + classes
+	head := NewConv2D(32, per, 1, 1, 0, false, rng)
+	return &YOLOHead{
+		Backbone: backbone,
+		Head:     head,
+		Classes:  classes,
+		GridH:    inH / 8,
+		GridW:    inW / 8,
+		inC:      1, inH: inH, inW: inW,
+	}
+}
+
+// FromImage converts a vision.Image to the network's input tensor.
+func FromImage(im *vision.Image) *Tensor {
+	t := NewTensor(1, im.H, im.W)
+	copy(t.Data, im.Pix)
+	return t
+}
+
+// Infer runs the full forward pass and decodes the grid.
+func (y *YOLOHead) Infer(in *Tensor) []GridBox {
+	feat := y.Backbone.Forward(in)
+	raw := y.Head.Forward(feat)
+	out := make([]GridBox, 0, raw.H*raw.W)
+	for gy := 0; gy < raw.H; gy++ {
+		for gx := 0; gx < raw.W; gx++ {
+			b := GridBox{
+				Objectness:  Sigmoid(raw.At(0, gy, gx)),
+				CX:          (float32(gx) + Sigmoid(raw.At(1, gy, gx))) / float32(raw.W),
+				CY:          (float32(gy) + Sigmoid(raw.At(2, gy, gx))) / float32(raw.H),
+				W:           Sigmoid(raw.At(3, gy, gx)),
+				H:           Sigmoid(raw.At(4, gy, gx)),
+				ClassScores: make([]float32, y.Classes),
+			}
+			for c := 0; c < y.Classes; c++ {
+				b.ClassScores[c] = Sigmoid(raw.At(5+c, gy, gx))
+			}
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// TotalFLOPs returns the MAC estimate of one forward pass.
+func (y *YOLOHead) TotalFLOPs() int64 {
+	f := y.Backbone.TotalFLOPs(y.inC, y.inH, y.inW)
+	c, h, w := y.inC, y.inH, y.inW
+	for _, l := range y.Backbone.Layers {
+		c, h, w = l.OutShape(c, h, w)
+	}
+	return f + y.Head.FLOPs(c, h, w)
+}

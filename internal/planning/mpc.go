@@ -1,0 +1,159 @@
+package planning
+
+import (
+	"math"
+
+	"sov/internal/canbus"
+	"sov/internal/mathx"
+)
+
+// MPCConfig tunes the receding-horizon controller.
+type MPCConfig struct {
+	Horizon int     // steps
+	Dt      float64 // seconds per step
+	Iters   int     // gradient iterations
+	// Cost weights.
+	WSpeed, WLane, WHeading, WEffort, WObstacle float64
+	// SafeDistance is the obstacle clearance the cost enforces.
+	SafeDistance float64
+	MaxAccel     float64
+	MaxBrake     float64
+	MaxSteerRate float64
+}
+
+// DefaultMPCConfig matches the deployed planner: a 2-second horizon at
+// 10 Hz, coarse enough for lane-granularity maneuvers and cheap enough for
+// the ~3 ms planning budget of Fig. 10a.
+func DefaultMPCConfig() MPCConfig {
+	return MPCConfig{
+		Horizon: 20, Dt: 0.1, Iters: 5,
+		WSpeed: 1.0, WLane: 2.0, WHeading: 1.0, WEffort: 0.1, WObstacle: 30.0,
+		SafeDistance: 2.0,
+		MaxAccel:     2.0, MaxBrake: 4.0, MaxSteerRate: 0.5,
+	}
+}
+
+// MPC is the production planner: gradient-based shooting over acceleration
+// and steering-rate sequences with a quadratic tracking cost and an
+// obstacle barrier.
+type MPC struct {
+	Cfg MPCConfig
+	// warm-start buffers reused across cycles.
+	accel, steer []float64
+}
+
+// NewMPC returns a planner with the given configuration.
+func NewMPC(cfg MPCConfig) *MPC {
+	return &MPC{
+		Cfg:   cfg,
+		accel: make([]float64, cfg.Horizon),
+		steer: make([]float64, cfg.Horizon),
+	}
+}
+
+// cost evaluates the objective for a control sequence without allocating:
+// the rollout is fused into the accumulation (this runs thousands of times
+// per planning cycle).
+func (m *MPC) cost(in Input, accel, steer []float64) float64 {
+	cfg := m.Cfg
+	dt := cfg.Dt
+	s, d, v, h := 0.0, in.LaneOffset, in.Speed, in.HeadingErr
+	c := 0.0
+	for k := range accel {
+		v = mathx.Clamp(v+accel[k]*dt, 0, 12)
+		h = mathx.Clamp(h+steer[k]*dt, -2.5, 2.5)
+		s += v * math.Cos(h) * dt
+		d += v * math.Sin(h) * dt
+		t := dt * float64(k+1)
+
+		dv := v - in.TargetSpeed
+		c += cfg.WSpeed * dv * dv
+		c += cfg.WLane * d * d
+		c += cfg.WEffort * (accel[k]*accel[k] + 4*steer[k]*steer[k])
+		for _, o := range in.Obstacles {
+			ds := s - (o.S + o.VS*t)
+			dd := d - (o.D + o.VD*t)
+			clear := math.Sqrt(ds*ds+dd*dd) - o.Radius
+			if clear < cfg.SafeDistance {
+				pen := cfg.SafeDistance - clear
+				c += cfg.WObstacle * pen * pen
+			}
+		}
+	}
+	// Terminal heading alignment.
+	c += cfg.WHeading * h * h
+	return c
+}
+
+// Plan runs one receding-horizon optimization and returns the first-step
+// command. The optimizer is coordinate-wise numerical gradient descent with
+// a fixed iteration budget — deterministic compute cost, as an embedded
+// planner requires.
+func (m *MPC) Plan(in Input) Plan {
+	cfg := m.Cfg
+	if in.LaneWidth == 0 {
+		in.LaneWidth = 3
+	}
+	// Warm start: shift the previous solution one step.
+	copy(m.accel, m.accel[1:])
+	copy(m.steer, m.steer[1:])
+
+	lr := 0.5
+	base := m.cost(in, m.accel, m.steer)
+	const eps = 1e-3
+	for it := 0; it < cfg.Iters; it++ {
+		improved := false
+		for k := 0; k < cfg.Horizon; k++ {
+			// Numerical gradient for accel[k].
+			m.accel[k] += eps
+			ca := m.cost(in, m.accel, m.steer)
+			m.accel[k] -= eps
+			ga := (ca - base) / eps
+			// And steer[k].
+			m.steer[k] += eps
+			cs := m.cost(in, m.accel, m.steer)
+			m.steer[k] -= eps
+			gs := (cs - base) / eps
+
+			na := mathx.Clamp(m.accel[k]-lr*ga, -cfg.MaxBrake, cfg.MaxAccel)
+			ns := mathx.Clamp(m.steer[k]-lr*gs, -cfg.MaxSteerRate, cfg.MaxSteerRate)
+			olda, olds := m.accel[k], m.steer[k]
+			m.accel[k], m.steer[k] = na, ns
+			c := m.cost(in, m.accel, m.steer)
+			if c < base {
+				base = c
+				improved = true
+			} else {
+				m.accel[k], m.steer[k] = olda, olds
+			}
+		}
+		if !improved {
+			lr /= 2
+			if lr < 1e-3 {
+				break
+			}
+		}
+	}
+
+	traj := simulate(in, m.accel, m.steer, cfg.Dt)
+	collides, _ := CollisionCheck(traj, in.Obstacles, 0.5)
+	// Convert the first-step heading rate to a bicycle steering angle:
+	// steer = atan(L * hdot / v).
+	const wheelBase = 1.8
+	v := math.Max(in.Speed, 0.5)
+	plan := Plan{
+		Cmd: canbus.Command{
+			SteerRad:  mathx.Clamp(math.Atan(wheelBase*m.steer[0]/v), -0.55, 0.55),
+			AccelMps2: m.accel[0],
+		},
+		Traj: traj,
+		Cost: base,
+	}
+	if collides {
+		// No safe trajectory found: command a full brake and flag it; the
+		// reactive path is the backstop if this is too late.
+		plan.Blocked = true
+		plan.Cmd = canbus.Command{AccelMps2: -cfg.MaxBrake}
+	}
+	return plan
+}

@@ -1,0 +1,273 @@
+package planning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func cruiseInput() Input {
+	return Input{Speed: 5.6, TargetSpeed: 5.6, LaneWidth: 3}
+}
+
+func TestMPCCruisesAtTargetSpeed(t *testing.T) {
+	m := NewMPC(DefaultMPCConfig())
+	p := m.Plan(cruiseInput())
+	if p.Blocked {
+		t.Fatal("empty road should not block")
+	}
+	if math.Abs(p.Cmd.AccelMps2) > 0.5 {
+		t.Fatalf("cruise accel = %v, want ~0", p.Cmd.AccelMps2)
+	}
+	if math.Abs(p.Cmd.SteerRad) > 0.1 {
+		t.Fatalf("cruise steer = %v, want ~0", p.Cmd.SteerRad)
+	}
+}
+
+func TestMPCAcceleratesWhenSlow(t *testing.T) {
+	m := NewMPC(DefaultMPCConfig())
+	in := cruiseInput()
+	in.Speed = 2
+	p := m.Plan(in)
+	if p.Cmd.AccelMps2 <= 0.2 {
+		t.Fatalf("accel = %v, want positive", p.Cmd.AccelMps2)
+	}
+}
+
+func TestMPCBrakesForBlockingObstacle(t *testing.T) {
+	m := NewMPC(DefaultMPCConfig())
+	in := cruiseInput()
+	// Stopped obstacle dead ahead at 6 m, spanning the lane.
+	in.Obstacles = []Obstacle{{S: 6, D: 0, Radius: 1.5}}
+	p := m.Plan(in)
+	if p.Cmd.AccelMps2 >= 0 {
+		t.Fatalf("accel = %v, want braking", p.Cmd.AccelMps2)
+	}
+}
+
+func TestMPCSteersAroundOffsetObstacle(t *testing.T) {
+	m := NewMPC(DefaultMPCConfig())
+	in := cruiseInput()
+	// Narrow obstacle slightly right of center 10 m ahead: swerve left.
+	in.Obstacles = []Obstacle{{S: 10, D: -0.3, Radius: 0.4}}
+	// Run a few cycles to warm-start.
+	var p Plan
+	for i := 0; i < 3; i++ {
+		p = m.Plan(in)
+	}
+	lateralAt10 := 0.0
+	for _, tp := range p.Traj {
+		if tp.S >= 9 && tp.S <= 11 && math.Abs(tp.D) > math.Abs(lateralAt10) {
+			lateralAt10 = tp.D
+		}
+	}
+	if lateralAt10 < 0.2 {
+		t.Fatalf("planned lateral at obstacle = %v, want leftward evasion", lateralAt10)
+	}
+}
+
+func TestMPCRecentersOnLane(t *testing.T) {
+	m := NewMPC(DefaultMPCConfig())
+	in := cruiseInput()
+	in.LaneOffset = 1.0
+	p := m.Plan(in)
+	// The trajectory should drive the lateral offset down.
+	last := p.Traj[len(p.Traj)-1]
+	if math.Abs(last.D) >= 0.9 {
+		t.Fatalf("final lateral offset = %v, want re-centered", last.D)
+	}
+}
+
+func TestEMPlannerCruise(t *testing.T) {
+	e := NewEMPlanner(DefaultEMConfig())
+	p := e.Plan(cruiseInput())
+	if p.Blocked {
+		t.Fatal("empty road should not block")
+	}
+	// Speed profile should hold near target.
+	for _, tp := range p.Traj[2:] {
+		if math.Abs(tp.V-5.6) > 1.5 {
+			t.Fatalf("EM speed at s=%v is %v, want ~5.6", tp.S, tp.V)
+		}
+	}
+}
+
+func TestEMPlannerAvoidsObstacle(t *testing.T) {
+	e := NewEMPlanner(DefaultEMConfig())
+	in := cruiseInput()
+	in.Obstacles = []Obstacle{{S: 20, D: 0, Radius: 0.8}}
+	p := e.Plan(in)
+	// The path should be laterally displaced near s=20.
+	displaced := false
+	for _, tp := range p.Traj {
+		if tp.S >= 17 && tp.S <= 23 && math.Abs(tp.D) > 0.8 {
+			displaced = true
+		}
+	}
+	if !displaced && !p.Blocked {
+		t.Fatal("EM planner neither avoided nor blocked on obstacle")
+	}
+}
+
+func TestEMPlannerBlocksOnWall(t *testing.T) {
+	e := NewEMPlanner(DefaultEMConfig())
+	in := cruiseInput()
+	// A wall of obstacles across all laterals at 8 m, too wide to pass.
+	for d := -4.0; d <= 4.0; d += 1 {
+		in.Obstacles = append(in.Obstacles, Obstacle{S: 8, D: d, Radius: 1.2})
+	}
+	p := e.Plan(in)
+	if !p.Blocked && p.Cmd.AccelMps2 > -1 {
+		t.Fatalf("wall should force blocked/braking, got %+v", p.Cmd)
+	}
+}
+
+func TestPredictConstantVelocity(t *testing.T) {
+	obs := []Obstacle{{S: 10, D: 1, VS: -2, VD: 0.5, Radius: 0.3}}
+	pred := Predict(obs, 0.1, 5)
+	if len(pred) != 5 {
+		t.Fatalf("steps = %d", len(pred))
+	}
+	last := pred[4][0]
+	if math.Abs(last.S-9) > 1e-9 || math.Abs(last.D-1.25) > 1e-9 {
+		t.Fatalf("predicted = %+v", last)
+	}
+}
+
+func TestCollisionCheck(t *testing.T) {
+	traj := []TrajPoint{{T: 1, S: 5, D: 0, V: 5}}
+	hit, clear := CollisionCheck(traj, []Obstacle{{S: 5, D: 0.2, Radius: 0.3}}, 0.5)
+	if !hit {
+		t.Fatal("expected collision flag")
+	}
+	if clear > 0 {
+		t.Fatalf("clearance = %v, want negative", clear)
+	}
+	hit, clear = CollisionCheck(traj, []Obstacle{{S: 50, D: 0, Radius: 0.3}}, 0.5)
+	if hit || clear < 40 {
+		t.Fatalf("far obstacle: hit=%v clear=%v", hit, clear)
+	}
+}
+
+func TestCollisionCheckMovingObstacle(t *testing.T) {
+	// Obstacle starts far but closes at 10 m/s; at T=2 it reaches S=5.
+	traj := []TrajPoint{{T: 2, S: 5, D: 0, V: 2.5}}
+	hit, _ := CollisionCheck(traj, []Obstacle{{S: 25, D: 0, VS: -10, Radius: 0.5}}, 0.5)
+	if !hit {
+		t.Fatal("moving obstacle should collide at T=2")
+	}
+}
+
+func TestCollisionCheckEmpty(t *testing.T) {
+	if hit, _ := CollisionCheck(nil, nil, 1); hit {
+		t.Fatal("empty inputs should not collide")
+	}
+}
+
+func TestMPCDeterministicCost(t *testing.T) {
+	a := NewMPC(DefaultMPCConfig())
+	b := NewMPC(DefaultMPCConfig())
+	in := cruiseInput()
+	in.Obstacles = []Obstacle{{S: 12, D: 0.5, Radius: 0.5}}
+	pa := a.Plan(in)
+	pb := b.Plan(in)
+	if pa.Cost != pb.Cost {
+		t.Fatalf("non-deterministic: %v vs %v", pa.Cost, pb.Cost)
+	}
+}
+
+func TestEMPlannerIsMuchMoreExpensiveThanMPC(t *testing.T) {
+	// Sec. V-C: the EM planner costs ~33× the MPC. Verify the ratio is at
+	// least an order of magnitude on identical inputs (exact ratios are
+	// host-dependent; bench_test.go reports the measured value).
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	in := cruiseInput()
+	in.Obstacles = []Obstacle{{S: 20, D: 0.3, Radius: 0.5}}
+	m := NewMPC(DefaultMPCConfig())
+	e := NewEMPlanner(DefaultEMConfig())
+	mpcT := timeIt(200, func() { m.Plan(in) })
+	emT := timeIt(20, func() { e.Plan(in) })
+	if emT < 5*mpcT {
+		t.Fatalf("EM/MPC cost ratio = %.1f, want >= 5 (paper: ~33)", emT/mpcT)
+	}
+}
+
+func timeIt(n int, f func()) float64 {
+	t0 := nowSeconds()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return (nowSeconds() - t0) / float64(n)
+}
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+func BenchmarkMPCPlan(b *testing.B) {
+	m := NewMPC(DefaultMPCConfig())
+	in := cruiseInput()
+	in.Obstacles = []Obstacle{{S: 20, D: 0.3, Radius: 0.5}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Plan(in)
+	}
+}
+
+func BenchmarkEMPlan(b *testing.B) {
+	e := NewEMPlanner(DefaultEMConfig())
+	in := cruiseInput()
+	in.Obstacles = []Obstacle{{S: 20, D: 0.3, Radius: 0.5}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Plan(in)
+	}
+}
+
+func TestMPCCommandsAlwaysWithinLimits(t *testing.T) {
+	// Property: whatever the scene, the emitted command respects the
+	// actuator envelope.
+	cfg := DefaultMPCConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMPC(cfg)
+		in := Input{
+			Speed:       rng.Float64() * 9,
+			LaneOffset:  rng.Float64()*4 - 2,
+			HeadingErr:  rng.Float64() - 0.5,
+			TargetSpeed: rng.Float64() * 9,
+			LaneWidth:   3,
+		}
+		for k := 0; k < rng.Intn(5); k++ {
+			in.Obstacles = append(in.Obstacles, Obstacle{
+				S:      rng.Float64() * 40,
+				D:      rng.Float64()*6 - 3,
+				VS:     rng.Float64()*6 - 3,
+				VD:     rng.Float64()*2 - 1,
+				Radius: 0.3 + rng.Float64(),
+			})
+		}
+		p := m.Plan(in)
+		if p.Cmd.AccelMps2 < -cfg.MaxBrake-1e-9 || p.Cmd.AccelMps2 > cfg.MaxAccel+1e-9 {
+			return false
+		}
+		return p.Cmd.SteerRad >= -0.55-1e-9 && p.Cmd.SteerRad <= 0.55+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMPlannerSpeedsNonNegative(t *testing.T) {
+	e := NewEMPlanner(DefaultEMConfig())
+	in := cruiseInput()
+	in.Obstacles = []Obstacle{{S: 15, D: 0, VS: -3, Radius: 1}}
+	p := e.Plan(in)
+	for _, tp := range p.Traj {
+		if tp.V < 0 {
+			t.Fatalf("negative speed in profile: %+v", tp)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+const frame1080p = 1920 * 1080 * 2
+
+func TestMobileSoCCopyOverheadUpTo3ms(t *testing.T) {
+	// Sec. V-A: CPU-mediated copies cost "up to 3 ms" per frame.
+	p := MobileSoCDataPath()
+	oh := p.FrameOverhead(frame1080p)
+	if oh < 1*time.Millisecond || oh > 4*time.Millisecond {
+		t.Fatalf("mobile SoC copy overhead = %v, want ~2-3 ms", oh)
+	}
+}
+
+func TestMobileSoCCoordinationPowerAboutOneWatt(t *testing.T) {
+	// Sec. V-A: "an extra 1 W power overhead" at camera rate.
+	p := MobileSoCDataPath()
+	w := p.SustainedPowerW(frame1080p, 30*4) // 4 cameras at 30 FPS
+	if w < 0.2 || w > 1.01 {
+		t.Fatalf("coordination power = %v W, want O(1)", w)
+	}
+	if p.FrameEnergyJ(frame1080p) <= 0 {
+		t.Fatal("energy should be positive")
+	}
+}
+
+func TestInSituFPGAPathNearFree(t *testing.T) {
+	f := InSituFPGADataPath()
+	if oh := f.FrameOverhead(frame1080p); oh != 0 {
+		t.Fatalf("in-situ overhead = %v, want 0", oh)
+	}
+	if f.FrameEnergyJ(frame1080p) != 0 {
+		t.Fatal("in-situ energy should be 0")
+	}
+	m := MobileSoCDataPath()
+	if m.FrameOverhead(frame1080p) <= f.FrameOverhead(frame1080p) {
+		t.Fatal("mobile SoC path must cost more than in-situ")
+	}
+}
+
+func TestSustainedPowerSaturates(t *testing.T) {
+	p := MobileSoCDataPath()
+	// Absurd frame rate: duty clamps at 1, power at CoordinationPowerW.
+	if w := p.SustainedPowerW(frame1080p, 1e6); w != p.CoordinationPowerW {
+		t.Fatalf("saturated power = %v", w)
+	}
+}

@@ -1,0 +1,244 @@
+// Package platform models the hardware design space of Sec. V: the four
+// candidate processors (server CPU, discrete GPU, Nvidia TX2-class mobile
+// SoC, embedded FPGA) with per-task latency and energy operating points
+// calibrated to the paper's measurements (Fig. 6), a GPU-contention model,
+// and the perception mapping-space explorer that reproduces Fig. 8.
+//
+// The operating points are published measurements, not simulations: the
+// paper's Fig. 6/8 are tables of measured values, and this package lets the
+// mapping logic act on them (see DESIGN.md, substitutions).
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Task identifies one perception/planning workload.
+type Task int
+
+// The tasks of Table III / Fig. 6.
+const (
+	TaskDepth Task = iota
+	TaskDetection
+	TaskTracking
+	TaskLocalization
+	TaskPlanning
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case TaskDepth:
+		return "depth-estimation"
+	case TaskDetection:
+		return "object-detection"
+	case TaskTracking:
+		return "tracking"
+	case TaskLocalization:
+		return "localization"
+	case TaskPlanning:
+		return "planning"
+	default:
+		return fmt.Sprintf("task(%d)", int(t))
+	}
+}
+
+// Processor is one hardware option with measured operating points.
+type Processor struct {
+	Name string
+	// Latency per task; absent tasks cannot run on this processor.
+	Latency map[Task]time.Duration
+	// PowerW is the active power used for energy = power × latency.
+	PowerW float64
+	// IdlePowerW matters for the always-on energy model.
+	IdlePowerW float64
+	// CostUSD is the unit cost.
+	CostUSD float64
+	// SensorInterface marks mature MIPI/CSI-class camera interfaces and
+	// ISP hardware (embedded FPGAs have them; servers don't).
+	SensorInterface bool
+	// CANInterface marks a mature CAN stack (the server has one; that is
+	// why planning maps there).
+	CANInterface bool
+	// Automotive marks automotive-grade qualification (Sec. III-C).
+	Automotive bool
+}
+
+// Energy returns the energy of running the task once, in joules, and
+// whether the processor supports the task.
+func (p *Processor) Energy(t Task) (float64, bool) {
+	lat, ok := p.Latency[t]
+	if !ok {
+		return 0, false
+	}
+	return p.PowerW * lat.Seconds(), true
+}
+
+// Catalog returns the four platforms with the paper's measured operating
+// points (Fig. 6a latencies; energies follow from the active powers, e.g.
+// depth on the CPU: 12.892 s × ~94 W ≈ 1207 J as annotated in Fig. 6b).
+func Catalog() map[string]*Processor {
+	return map[string]*Processor{
+		"CPU": {
+			Name: "CPU", // Intel Coffee Lake, 3.0 GHz, 9 MB LLC
+			Latency: map[Task]time.Duration{
+				TaskDepth:        12892 * time.Millisecond,
+				TaskDetection:    2000 * time.Millisecond,
+				TaskTracking:     100 * time.Millisecond,
+				TaskLocalization: 90 * time.Millisecond,
+				TaskPlanning:     3 * time.Millisecond,
+			},
+			PowerW: 94, IdlePowerW: 20, CostUSD: 400,
+			CANInterface: true,
+		},
+		"GPU": {
+			Name: "GPU", // Nvidia GTX 1060
+			Latency: map[Task]time.Duration{
+				TaskDepth:        40 * time.Millisecond,
+				TaskDetection:    60 * time.Millisecond,
+				TaskTracking:     17 * time.Millisecond,
+				TaskLocalization: 31 * time.Millisecond,
+			},
+			PowerW: 120, IdlePowerW: 11, CostUSD: 300,
+		},
+		"TX2": {
+			Name: "TX2", // Nvidia Jetson TX2 (Pascal GPU + Cortex-A57)
+			Latency: map[Task]time.Duration{
+				TaskDepth:        170 * time.Millisecond,
+				TaskDetection:    570 * time.Millisecond,
+				TaskTracking:     60 * time.Millisecond,
+				TaskLocalization: 104200 * time.Microsecond,
+			},
+			PowerW: 12, IdlePowerW: 2, CostUSD: 600,
+			SensorInterface: true,
+		},
+		"FPGA": {
+			Name: "FPGA", // Xilinx Zynq UltraScale+ (automotive grade)
+			Latency: map[Task]time.Duration{
+				TaskDepth:        120 * time.Millisecond,
+				TaskDetection:    200 * time.Millisecond,
+				TaskTracking:     30 * time.Millisecond,
+				TaskLocalization: 24 * time.Millisecond,
+			},
+			PowerW: 6, IdlePowerW: 1.5, CostUSD: 250,
+			SensorInterface: true,
+			Automotive:      true,
+		},
+	}
+}
+
+// TX2CumulativePerception returns the serial latency of running all three
+// perception tasks on the TX2 (the paper: 844.2 ms — far beyond real-time).
+func TX2CumulativePerception() time.Duration {
+	tx2 := Catalog()["TX2"]
+	return tx2.Latency[TaskDepth] + tx2.Latency[TaskDetection] + tx2.Latency[TaskLocalization]
+}
+
+// Mapping assigns the two perception task groups to processors.
+type Mapping struct {
+	// SceneUnderstanding hosts depth + detection (+ visual tracking
+	// fallback).
+	SceneUnderstanding string
+	// Localization hosts the VIO accelerator.
+	Localization string
+}
+
+// PerceptionResult is the evaluation of one mapping.
+type PerceptionResult struct {
+	Mapping Mapping
+	// SceneUnderstandingLatency after contention.
+	SceneUnderstandingLatency time.Duration
+	// LocalizationLatency after contention.
+	LocalizationLatency time.Duration
+	// PerceptionLatency = max of the two parallel groups.
+	PerceptionLatency time.Duration
+}
+
+// gpuContention inflates co-located scene understanding: the paper measures
+// it at 77 ms alone on the GPU but 120 ms when localization shares the GPU.
+// The catalog's 31 ms GPU localization is already the shared-GPU
+// measurement (offloading to the FPGA takes it to 24 ms), so localization
+// is not inflated further.
+const gpuContentionFactor = 120.0 / 77.0
+
+// EvaluateMapping computes the perception latency of a mapping, applying
+// GPU contention when both groups share the GPU. Scene understanding is
+// depth ∥ (detection → tracking); the slower chain dictates.
+func EvaluateMapping(m Mapping, cat map[string]*Processor) (PerceptionResult, error) {
+	su, ok := cat[m.SceneUnderstanding]
+	if !ok {
+		return PerceptionResult{}, fmt.Errorf("platform: unknown processor %q", m.SceneUnderstanding)
+	}
+	loc, ok := cat[m.Localization]
+	if !ok {
+		return PerceptionResult{}, fmt.Errorf("platform: unknown processor %q", m.Localization)
+	}
+	depth, ok1 := su.Latency[TaskDepth]
+	det, ok2 := su.Latency[TaskDetection]
+	trk, ok3 := su.Latency[TaskTracking]
+	locLat, ok4 := loc.Latency[TaskLocalization]
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return PerceptionResult{}, fmt.Errorf("platform: mapping %+v unsupported", m)
+	}
+	suLat := det + trk
+	if depth > suLat {
+		suLat = depth
+	}
+	if m.SceneUnderstanding == "GPU" && m.Localization == "GPU" {
+		suLat = time.Duration(float64(suLat) * gpuContentionFactor)
+	}
+	perception := suLat
+	if locLat > perception {
+		perception = locLat
+	}
+	return PerceptionResult{
+		Mapping:                   m,
+		SceneUnderstandingLatency: suLat,
+		LocalizationLatency:       locLat,
+		PerceptionLatency:         perception,
+	}, nil
+}
+
+// ExploreMappings evaluates the Fig. 8 mapping strategies and returns them
+// sorted by perception latency (best first).
+func ExploreMappings() []PerceptionResult {
+	cat := Catalog()
+	mappings := []Mapping{
+		{SceneUnderstanding: "GPU", Localization: "FPGA"}, // our design
+		{SceneUnderstanding: "GPU", Localization: "GPU"},
+		{SceneUnderstanding: "GPU", Localization: "TX2"},
+		{SceneUnderstanding: "TX2", Localization: "GPU"},
+		{SceneUnderstanding: "TX2", Localization: "TX2"},
+	}
+	out := make([]PerceptionResult, 0, len(mappings))
+	for _, m := range mappings {
+		r, err := EvaluateMapping(m, cat)
+		if err != nil {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PerceptionLatency < out[j].PerceptionLatency })
+	return out
+}
+
+// OurDesign returns the deployed mapping (scene understanding on the GPU,
+// localization offloaded to the FPGA).
+func OurDesign() Mapping {
+	return Mapping{SceneUnderstanding: "GPU", Localization: "FPGA"}
+}
+
+// FPGALocalizationResources documents the localization accelerator's FPGA
+// footprint (Sec. V-B2).
+type FPGAResources struct {
+	LUTs, Registers, BRAMs, DSPs int
+	PowerW                       float64
+}
+
+// LocalizationAcceleratorResources returns the deployed accelerator's
+// footprint: ~200K LUTs, 120K registers, 600 BRAMs, 800 DSPs, < 6 W.
+func LocalizationAcceleratorResources() FPGAResources {
+	return FPGAResources{LUTs: 200_000, Registers: 120_000, BRAMs: 600, DSPs: 800, PowerW: 5.8}
+}

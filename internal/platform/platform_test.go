@@ -1,0 +1,174 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCatalogOperatingPoints(t *testing.T) {
+	cat := Catalog()
+	for _, name := range []string{"CPU", "GPU", "TX2", "FPGA"} {
+		p, ok := cat[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if p.PowerW <= 0 || p.CostUSD <= 0 {
+			t.Fatalf("%s has invalid power/cost", name)
+		}
+	}
+	// Fig. 6a headline: FPGA beats GPU only on localization.
+	gpu, fpga := cat["GPU"], cat["FPGA"]
+	if fpga.Latency[TaskLocalization] >= gpu.Latency[TaskLocalization] {
+		t.Fatal("FPGA should win localization")
+	}
+	if fpga.Latency[TaskDepth] <= gpu.Latency[TaskDepth] {
+		t.Fatal("GPU should win depth")
+	}
+	if fpga.Latency[TaskDetection] <= gpu.Latency[TaskDetection] {
+		t.Fatal("GPU should win detection")
+	}
+}
+
+func TestTX2Cumulative844(t *testing.T) {
+	// Paper: TX2 cumulative perception latency 844.2 ms.
+	got := TX2CumulativePerception()
+	want := 844200 * time.Microsecond
+	if got != want {
+		t.Fatalf("TX2 cumulative = %v, want %v", got, want)
+	}
+}
+
+func TestCPUDepthEnergyMatchesFig6b(t *testing.T) {
+	// Paper annotation: ~1207 J for depth on the CPU.
+	cpu := Catalog()["CPU"]
+	e, ok := cpu.Energy(TaskDepth)
+	if !ok {
+		t.Fatal("CPU must support depth")
+	}
+	if math.Abs(e-1207) > 10 {
+		t.Fatalf("CPU depth energy = %v J, want ~1207", e)
+	}
+}
+
+func TestTX2EnergyMarginalVsGPU(t *testing.T) {
+	// Fig. 6b: TX2 has only marginal, sometimes worse, energy vs GPU due
+	// to its long latency. Check detection is within 2x either way.
+	cat := Catalog()
+	eGPU, _ := cat["GPU"].Energy(TaskDetection)
+	eTX2, _ := cat["TX2"].Energy(TaskDetection)
+	ratio := eTX2 / eGPU
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("TX2/GPU detection energy ratio = %v, want marginal (~1)", ratio)
+	}
+}
+
+func TestEnergyUnsupportedTask(t *testing.T) {
+	gpu := Catalog()["GPU"]
+	if _, ok := gpu.Energy(TaskPlanning); ok {
+		t.Fatal("GPU does not host planning")
+	}
+}
+
+func TestOurMappingIs77ms(t *testing.T) {
+	r, err := EvaluateMapping(OurDesign(), Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerceptionLatency != 77*time.Millisecond {
+		t.Fatalf("perception latency = %v, want 77 ms", r.PerceptionLatency)
+	}
+	if r.LocalizationLatency != 24*time.Millisecond {
+		t.Fatalf("localization = %v, want 24 ms", r.LocalizationLatency)
+	}
+}
+
+func TestGPUOnlyMappingIs120ms(t *testing.T) {
+	r, err := EvaluateMapping(Mapping{SceneUnderstanding: "GPU", Localization: "GPU"}, Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerceptionLatency != 120*time.Millisecond {
+		t.Fatalf("GPU-only perception = %v, want 120 ms", r.PerceptionLatency)
+	}
+}
+
+func TestFPGAOffloadGives1p6x(t *testing.T) {
+	// Paper: offloading localization improves perception 1.6×.
+	cat := Catalog()
+	shared, _ := EvaluateMapping(Mapping{SceneUnderstanding: "GPU", Localization: "GPU"}, cat)
+	ours, _ := EvaluateMapping(OurDesign(), cat)
+	speedup := float64(shared.PerceptionLatency) / float64(ours.PerceptionLatency)
+	if math.Abs(speedup-1.56) > 0.1 {
+		t.Fatalf("speedup = %v, want ~1.6", speedup)
+	}
+}
+
+func TestTX2AlwaysBottleneck(t *testing.T) {
+	// Fig. 8: any mapping with TX2 in it is the latency bottleneck.
+	cat := Catalog()
+	ours, _ := EvaluateMapping(OurDesign(), cat)
+	for _, m := range []Mapping{
+		{SceneUnderstanding: "GPU", Localization: "TX2"},
+		{SceneUnderstanding: "TX2", Localization: "GPU"},
+		{SceneUnderstanding: "TX2", Localization: "TX2"},
+	} {
+		r, err := EvaluateMapping(m, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PerceptionLatency <= ours.PerceptionLatency {
+			t.Fatalf("mapping %+v should be worse than ours", m)
+		}
+	}
+}
+
+func TestExploreMappingsSortedAndOursBest(t *testing.T) {
+	results := ExploreMappings()
+	if len(results) != 5 {
+		t.Fatalf("mappings = %d, want 5", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].PerceptionLatency < results[i-1].PerceptionLatency {
+			t.Fatal("not sorted")
+		}
+	}
+	best := results[0].Mapping
+	if best != OurDesign() {
+		t.Fatalf("best mapping = %+v, want our design", best)
+	}
+}
+
+func TestEvaluateMappingErrors(t *testing.T) {
+	if _, err := EvaluateMapping(Mapping{SceneUnderstanding: "QPU", Localization: "GPU"}, Catalog()); err == nil {
+		t.Fatal("unknown processor should error")
+	}
+}
+
+func TestOnlyFPGAIsAutomotiveWithSensors(t *testing.T) {
+	// Sec. III-C / V-A: the FPGA is chosen partly because it is
+	// automotive-grade and has mature sensor interfaces.
+	cat := Catalog()
+	if !cat["FPGA"].Automotive || !cat["FPGA"].SensorInterface {
+		t.Fatal("FPGA must be automotive-grade with sensor interfaces")
+	}
+	if cat["GPU"].SensorInterface || cat["CPU"].SensorInterface {
+		t.Fatal("server parts must lack sensor interfaces")
+	}
+	if !cat["CPU"].CANInterface {
+		t.Fatal("the server hosts the mature CAN stack")
+	}
+}
+
+func TestAcceleratorResources(t *testing.T) {
+	r := LocalizationAcceleratorResources()
+	if r.LUTs != 200_000 || r.DSPs != 800 || r.PowerW >= 6 {
+		t.Fatalf("resources = %+v", r)
+	}
+}
+
+func TestTaskStrings(t *testing.T) {
+	if TaskDepth.String() == "" || Task(99).String() == "" {
+		t.Fatal("empty task string")
+	}
+}

@@ -1,0 +1,124 @@
+package pointcloud
+
+import (
+	"math"
+	"testing"
+
+	"sov/internal/mathx"
+	"sov/internal/sim"
+)
+
+func TestVoxelDownsampleMergesCells(t *testing.T) {
+	c := &Cloud{}
+	// 100 points inside one 1 m voxel, 1 point far away.
+	rng := sim.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		c.Pts = append(c.Pts, mathx.Vec3{X: rng.Uniform(0, 0.9), Y: rng.Uniform(0, 0.9), Z: rng.Uniform(0, 0.9)})
+	}
+	c.Pts = append(c.Pts, mathx.Vec3{X: 10, Y: 10, Z: 0})
+	out := VoxelDownsample(c, nil, 1.0)
+	if out.Len() != 2 {
+		t.Fatalf("voxels = %d, want 2", out.Len())
+	}
+}
+
+func TestVoxelDownsampleCentroid(t *testing.T) {
+	c := &Cloud{Pts: []mathx.Vec3{{X: 0.2}, {X: 0.4}}}
+	out := VoxelDownsample(c, nil, 1.0)
+	if out.Len() != 1 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	if math.Abs(out.Pts[0].X-0.3) > 1e-9 {
+		t.Fatalf("centroid = %v", out.Pts[0])
+	}
+}
+
+func TestVoxelDownsampleZeroVoxelCopies(t *testing.T) {
+	c := &Cloud{Pts: []mathx.Vec3{{X: 1}, {X: 2}}}
+	out := VoxelDownsample(c, nil, 0)
+	if out.Len() != 2 {
+		t.Fatal("zero voxel should copy")
+	}
+	out.Pts[0].X = 99
+	if c.Pts[0].X == 99 {
+		t.Fatal("copy aliases source")
+	}
+}
+
+func TestRansacGroundSeparatesPlaneFromObjects(t *testing.T) {
+	rng := sim.NewRNG(2)
+	c := &Cloud{}
+	// Tilted ground plane z = 0.02x + 0.01y.
+	for i := 0; i < 800; i++ {
+		x, y := rng.Uniform(-15, 15), rng.Uniform(-15, 15)
+		c.Pts = append(c.Pts, mathx.Vec3{X: x, Y: y, Z: 0.02*x + 0.01*y + rng.Normal(0, 0.01)})
+	}
+	// A box obstacle well above the plane.
+	for i := 0; i < 200; i++ {
+		c.Pts = append(c.Pts, mathx.Vec3{X: rng.Uniform(4, 6), Y: rng.Uniform(-1, 1), Z: rng.Uniform(0.5, 2)})
+	}
+	plane, ground, rest := RansacGround(c, nil, 60, 0.1, rng)
+	if math.Abs(plane.A-0.02) > 0.01 || math.Abs(plane.B-0.01) > 0.01 {
+		t.Fatalf("plane = %+v", plane)
+	}
+	if len(ground) < 700 {
+		t.Fatalf("ground inliers = %d, want ~800", len(ground))
+	}
+	if len(rest) < 150 {
+		t.Fatalf("obstacle outliers = %d, want ~200", len(rest))
+	}
+	// No obstacle point misclassified as ground.
+	for _, i := range ground {
+		if c.Pts[i].Z > 0.45 {
+			t.Fatalf("obstacle point %v classified as ground", c.Pts[i])
+		}
+	}
+}
+
+func TestRansacGroundDegenerate(t *testing.T) {
+	rng := sim.NewRNG(3)
+	c := &Cloud{Pts: []mathx.Vec3{{X: 1}}}
+	_, ground, rest := RansacGround(c, nil, 10, 0.1, rng)
+	if len(ground) != 0 || len(rest) != 1 {
+		t.Fatalf("degenerate split: %d/%d", len(ground), len(rest))
+	}
+}
+
+func TestPlaneFrom3Collinear(t *testing.T) {
+	if _, ok := planeFrom3(mathx.Vec3{}, mathx.Vec3{X: 1}, mathx.Vec3{X: 2}); ok {
+		t.Fatal("collinear points should fail")
+	}
+}
+
+func TestRansacOnSyntheticScan(t *testing.T) {
+	rng := sim.NewRNG(4)
+	scan := GenerateScan(2000, 5, rng.Fork())
+	_, ground, rest := RansacGround(scan, nil, 80, 0.08, rng.Fork())
+	// The generator puts ~50% of points on the ground plane.
+	frac := float64(len(ground)) / float64(scan.Len())
+	if frac < 0.35 || frac > 0.75 {
+		t.Fatalf("ground fraction = %.2f, want ~0.5", frac)
+	}
+	if len(ground)+len(rest) != scan.Len() {
+		t.Fatal("split does not partition the cloud")
+	}
+}
+
+func BenchmarkVoxelDownsample(b *testing.B) {
+	scan := GenerateScan(10000, 1, sim.NewRNG(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VoxelDownsample(scan, nil, 0.2)
+	}
+}
+
+func BenchmarkRansacGround(b *testing.B) {
+	rng := sim.NewRNG(6)
+	scan := GenerateScan(10000, 1, rng.Fork())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RansacGround(scan, nil, 60, 0.08, rng)
+	}
+}

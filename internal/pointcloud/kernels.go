@@ -1,0 +1,361 @@
+package pointcloud
+
+import (
+	"math"
+
+	"sov/internal/mathx"
+)
+
+// ICPResult is the estimated rigid transform (yaw + translation) aligning
+// the source cloud onto the target, plus convergence diagnostics.
+type ICPResult struct {
+	Yaw        float64
+	Trans      mathx.Vec3
+	Iterations int
+	RMSE       float64
+}
+
+// Localize runs point-to-point ICP of src against the target tree — the
+// LiDAR localization kernel of Fig. 4. A planar (yaw + translation) motion
+// model matches the ground vehicle. subsample > 1 uses every k-th source
+// point per iteration.
+func Localize(tree *KDTree, src *Cloud, tr Tracker, iters, subsample int) ICPResult {
+	if subsample < 1 {
+		subsample = 1
+	}
+	yaw, trans := 0.0, mathx.Vec3{}
+	res := ICPResult{}
+	for it := 0; it < iters; it++ {
+		s, c := math.Sin(yaw), math.Cos(yaw)
+		// Accumulate correspondences.
+		var srcCx, srcCy, dstCx, dstCy float64
+		var sxx, sxy, syx, syy float64
+		var zSum float64
+		type pair struct{ sx, sy, dx, dy, dz float64 }
+		pairs := make([]pair, 0, src.Len()/subsample+1)
+		var sse float64
+		for i := 0; i < src.Len(); i += subsample {
+			src.access(tr, i)
+			p := src.Pts[i]
+			// Current transform estimate applied to the source point.
+			q := mathx.Vec3{X: c*p.X - s*p.Y + trans.X, Y: s*p.X + c*p.Y + trans.Y, Z: p.Z + trans.Z}
+			j, d2 := tree.Nearest(q)
+			if j < 0 || d2 > 4.0 {
+				continue
+			}
+			d := tree.cloud.Pts[j]
+			pairs = append(pairs, pair{sx: q.X, sy: q.Y, dx: d.X, dy: d.Y, dz: d.Z - q.Z})
+			sse += d2
+		}
+		if len(pairs) < 3 {
+			break
+		}
+		for _, pr := range pairs {
+			srcCx += pr.sx
+			srcCy += pr.sy
+			dstCx += pr.dx
+			dstCy += pr.dy
+			zSum += pr.dz
+		}
+		n := float64(len(pairs))
+		srcCx /= n
+		srcCy /= n
+		dstCx /= n
+		dstCy /= n
+		for _, pr := range pairs {
+			ax, ay := pr.sx-srcCx, pr.sy-srcCy
+			bx, by := pr.dx-dstCx, pr.dy-dstCy
+			sxx += ax * bx
+			sxy += ax * by
+			syx += ay * bx
+			syy += ay * by
+		}
+		dyaw := math.Atan2(sxy-syx, sxx+syy)
+		yaw += dyaw
+		sNew, cNew := math.Sin(dyaw), math.Cos(dyaw)
+		// Incremental transform: q' = R(dyaw)q + tInc with
+		// tInc = dstCentroid - R(dyaw)*srcCentroid. Compose onto the
+		// accumulated transform (rotate old translation first).
+		tx := dstCx - (cNew*srcCx - sNew*srcCy)
+		ty := dstCy - (sNew*srcCx + cNew*srcCy)
+		ox, oy := trans.X, trans.Y
+		trans.X = cNew*ox - sNew*oy + tx
+		trans.Y = sNew*ox + cNew*oy + ty
+		trans.Z += zSum / n
+		res.Iterations = it + 1
+		res.RMSE = math.Sqrt(sse / n)
+		if math.Abs(dyaw) < 1e-5 && math.Hypot(tx, ty) < 1e-4 {
+			break
+		}
+	}
+	res.Yaw = yaw
+	res.Trans = trans
+	return res
+}
+
+// LocalizePointToPlane runs point-to-plane ICP: residuals are projected
+// onto the target surface normals, which converges in far fewer iterations
+// than point-to-point on structured scenes (the standard production
+// refinement). Normals must come from EstimateNormals on the target cloud.
+func LocalizePointToPlane(tree *KDTree, normals []Normal, src *Cloud, tr Tracker, iters, subsample int) ICPResult {
+	if subsample < 1 {
+		subsample = 1
+	}
+	yaw, trans := 0.0, mathx.Vec3{}
+	res := ICPResult{}
+	for it := 0; it < iters; it++ {
+		s, c := math.Sin(yaw), math.Cos(yaw)
+		// Linearized system over (dyaw, tx, ty): for each correspondence,
+		// n·(R p + t - q) ≈ 0 with R ≈ I + dyaw×.
+		var a [3][3]float64
+		var bvec [3]float64
+		var sse float64
+		n := 0
+		for i := 0; i < src.Len(); i += subsample {
+			src.access(tr, i)
+			p := src.Pts[i]
+			qp := mathx.Vec3{X: c*p.X - s*p.Y + trans.X, Y: s*p.X + c*p.Y + trans.Y, Z: p.Z + trans.Z}
+			j, d2 := tree.Nearest(qp)
+			if j < 0 || d2 > 4.0 {
+				continue
+			}
+			q := tree.cloud.Pts[j]
+			nv := normals[j]
+			// Planar (yaw-only) rotation derivative: d(Rp)/dyaw = (-py', px', 0).
+			jyaw := -qp.Y*nv.X + qp.X*nv.Y
+			row := [3]float64{jyaw, nv.X, nv.Y}
+			r := nv.X*(qp.X-q.X) + nv.Y*(qp.Y-q.Y) + nv.Z*(qp.Z-q.Z)
+			for ri := 0; ri < 3; ri++ {
+				for ci := 0; ci < 3; ci++ {
+					a[ri][ci] += row[ri] * row[ci]
+				}
+				bvec[ri] -= row[ri] * r
+			}
+			sse += r * r
+			n++
+		}
+		if n < 6 {
+			break
+		}
+		am := mathx.MatFromRows([][]float64{
+			{a[0][0] + 1e-9, a[0][1], a[0][2]},
+			{a[1][0], a[1][1] + 1e-9, a[1][2]},
+			{a[2][0], a[2][1], a[2][2] + 1e-9},
+		})
+		sol, err := mathx.SolveSPD(am, bvec[:])
+		if err != nil {
+			break
+		}
+		dyaw, tx, ty := sol[0], sol[1], sol[2]
+		yaw += dyaw
+		sNew, cNew := math.Sin(dyaw), math.Cos(dyaw)
+		ox, oy := trans.X, trans.Y
+		trans.X = cNew*ox - sNew*oy + tx
+		trans.Y = sNew*ox + cNew*oy + ty
+		res.Iterations = it + 1
+		res.RMSE = math.Sqrt(sse / float64(n))
+		if math.Abs(dyaw) < 1e-6 && math.Hypot(tx, ty) < 1e-5 {
+			break
+		}
+	}
+	res.Yaw = yaw
+	res.Trans = trans
+	return res
+}
+
+// Segment performs Euclidean cluster extraction: connected components under
+// the "within radius" relation, ignoring near-ground points. Returns point
+// index groups of at least minPts.
+func Segment(tree *KDTree, cloud *Cloud, tr Tracker, radius float64, minPts int) [][]int {
+	n := cloud.Len()
+	visited := make([]bool, n)
+	var clusters [][]int
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		cloud.access(tr, i)
+		if cloud.Pts[i].Z < 0.15 { // ground rejection
+			visited[i] = true
+			continue
+		}
+		// BFS flood fill through radius neighborhoods.
+		var cluster []int
+		queue := []int{i}
+		visited[i] = true
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			cluster = append(cluster, j)
+			for _, k := range tree.Radius(cloud.Pts[j], radius) {
+				if !visited[k] && cloud.Pts[k].Z >= 0.15 {
+					visited[k] = true
+					queue = append(queue, k)
+				}
+			}
+		}
+		if len(cluster) >= minPts {
+			clusters = append(clusters, cluster)
+		}
+	}
+	return clusters
+}
+
+// Descriptor is a compact shape signature (a simplified viewpoint feature
+// histogram): radial-distance and height histograms about the centroid.
+type Descriptor [16]float64
+
+// Describe computes the descriptor of a cluster.
+func Describe(cloud *Cloud, tr Tracker, cluster []int) Descriptor {
+	var d Descriptor
+	if len(cluster) == 0 {
+		return d
+	}
+	var centroid mathx.Vec3
+	for _, i := range cluster {
+		cloud.access(tr, i)
+		centroid = centroid.Add(cloud.Pts[i])
+	}
+	centroid = centroid.Scale(1 / float64(len(cluster)))
+	maxR := 1e-9
+	for _, i := range cluster {
+		cloud.access(tr, i)
+		if r := cloud.Pts[i].Sub(centroid).Norm(); r > maxR {
+			maxR = r
+		}
+	}
+	for _, i := range cluster {
+		cloud.access(tr, i)
+		rel := cloud.Pts[i].Sub(centroid)
+		rbin := int(rel.Norm() / maxR * 7.999)
+		zbin := 8 + int((rel.Z/maxR+1)/2*7.999)
+		if rbin < 0 {
+			rbin = 0
+		}
+		if rbin > 7 {
+			rbin = 7
+		}
+		if zbin < 8 {
+			zbin = 8
+		}
+		if zbin > 15 {
+			zbin = 15
+		}
+		d[rbin]++
+		d[zbin]++
+	}
+	// L1 normalize.
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range d {
+			d[i] /= sum
+		}
+	}
+	return d
+}
+
+// Recognize matches each cluster's descriptor against a template library
+// by L1 distance, returning the best template index per cluster. This is
+// the "recognition" kernel of Fig. 4b.
+func Recognize(cloud *Cloud, tree *KDTree, tr Tracker, clusters [][]int, library []Descriptor) []int {
+	out := make([]int, len(clusters))
+	for ci, cluster := range clusters {
+		d := Describe(cloud, tr, cluster)
+		best, bestDist := -1, math.Inf(1)
+		for li, tmpl := range library {
+			dist := 0.0
+			for k := range d {
+				dist += math.Abs(d[k] - tmpl[k])
+			}
+			if dist < bestDist {
+				bestDist = dist
+				best = li
+			}
+		}
+		out[ci] = best
+	}
+	return out
+}
+
+// Normal is an estimated unit surface normal.
+type Normal = mathx.Vec3
+
+// EstimateNormals fits a plane to each point's k-neighborhood (PCA smallest
+// eigenvector via plane least-squares) — the core of surface reconstruction.
+func EstimateNormals(tree *KDTree, cloud *Cloud, tr Tracker, k int) []Normal {
+	n := cloud.Len()
+	out := make([]Normal, n)
+	for i := 0; i < n; i++ {
+		cloud.access(tr, i)
+		nbrs := tree.KNN(cloud.Pts[i], k)
+		var centroid mathx.Vec3
+		for _, j := range nbrs {
+			cloud.access(tr, j)
+			centroid = centroid.Add(cloud.Pts[j])
+		}
+		centroid = centroid.Scale(1 / float64(len(nbrs)))
+		// Covariance accumulation.
+		var xx, xy, xz, yy, yz, zz float64
+		for _, j := range nbrs {
+			r := cloud.Pts[j].Sub(centroid)
+			xx += r.X * r.X
+			xy += r.X * r.Y
+			xz += r.X * r.Z
+			yy += r.Y * r.Y
+			yz += r.Y * r.Z
+			zz += r.Z * r.Z
+		}
+		out[i] = smallestEigenvector(xx, xy, xz, yy, yz, zz)
+	}
+	return out
+}
+
+// smallestEigenvector of a symmetric 3x3 via inverse power iteration with
+// a small regularizer (adequate for well-conditioned neighborhoods).
+func smallestEigenvector(xx, xy, xz, yy, yz, zz float64) mathx.Vec3 {
+	a := mathx.MatFromRows([][]float64{
+		{xx + 1e-9, xy, xz},
+		{xy, yy + 1e-9, yz},
+		{xz, yz, zz + 1e-9},
+	})
+	v := []float64{0, 0, 1}
+	for it := 0; it < 8; it++ {
+		sol, err := mathx.SolveSPD(a, v)
+		if err != nil {
+			return mathx.Vec3{Z: 1}
+		}
+		norm := math.Sqrt(sol[0]*sol[0] + sol[1]*sol[1] + sol[2]*sol[2])
+		if norm == 0 {
+			return mathx.Vec3{Z: 1}
+		}
+		for i := range sol {
+			sol[i] /= norm
+		}
+		v = sol
+	}
+	return mathx.Vec3{X: v[0], Y: v[1], Z: v[2]}
+}
+
+// Reconstruct estimates normals and counts greedy local surface links —
+// a simplified greedy-projection triangulation that reproduces the memory
+// behaviour (kNN per point) of PCL's reconstruction. Returns the triangle
+// count.
+func Reconstruct(tree *KDTree, cloud *Cloud, tr Tracker, k int) int {
+	normals := EstimateNormals(tree, cloud, tr, k)
+	triangles := 0
+	for i := 0; i < cloud.Len(); i++ {
+		nbrs := tree.KNN(cloud.Pts[i], 3)
+		if len(nbrs) < 3 {
+			continue
+		}
+		// Accept the local triangle when the neighbor normals agree.
+		dot := normals[nbrs[0]].Dot(normals[nbrs[1]])
+		if math.Abs(dot) > 0.5 {
+			triangles++
+		}
+	}
+	return triangles
+}

@@ -1,0 +1,138 @@
+package rpr
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineThroughputAtLeast350MBps(t *testing.T) {
+	// Paper: "Our RPR engine achieves over 350 MB/s".
+	e := NewEngine(DefaultEngineConfig())
+	r := e.Transfer(1 << 20)
+	if r.Throughput < 350e6 {
+		t.Fatalf("throughput = %.1f MB/s, want >= 350", r.Throughput/1e6)
+	}
+	if r.Throughput > 400e6 {
+		t.Fatalf("throughput = %.1f MB/s exceeds the 4 B × 100 MHz ICAP limit", r.Throughput/1e6)
+	}
+}
+
+func TestSwapUnder3ms(t *testing.T) {
+	// Paper: reconfiguration delay < 3 ms for the localization variants.
+	e := NewEngine(DefaultEngineConfig())
+	for _, b := range []Bitstream{BitstreamFeatureExtract, BitstreamFeatureTrack} {
+		r := e.Transfer(b.Bytes)
+		if r.Duration >= 3*time.Millisecond {
+			t.Fatalf("%s swap = %v, want < 3 ms", b.Name, r.Duration)
+		}
+	}
+}
+
+func TestSwapEnergyAbout2mJ(t *testing.T) {
+	// Paper: ~2.1 mJ per reconfiguration.
+	e := NewEngine(DefaultEngineConfig())
+	r := e.Transfer(BitstreamFeatureExtract.Bytes)
+	if r.EnergyJ < 0.5e-3 || r.EnergyJ > 5e-3 {
+		t.Fatalf("energy = %v J, want ~2 mJ", r.EnergyJ)
+	}
+}
+
+func TestCPUDrivenIsOrdersOfMagnitudeSlower(t *testing.T) {
+	// Paper: stock CPU-mediated path runs at ~300 KB/s — about 1000×
+	// slower than the engine.
+	e := NewEngine(DefaultEngineConfig())
+	cpu := DefaultCPUDriven()
+	bytes := 1 << 20
+	re := e.Transfer(bytes)
+	rc := cpu.Transfer(bytes)
+	ratio := rc.Duration.Seconds() / re.Duration.Seconds()
+	if ratio < 500 {
+		t.Fatalf("CPU/engine slowdown = %.0fx, want >= 500x", ratio)
+	}
+	if rc.Duration < 3*time.Second {
+		t.Fatalf("CPU path for 1 MB = %v, want seconds", rc.Duration)
+	}
+}
+
+func TestTransferExactByteCount(t *testing.T) {
+	e := NewEngine(DefaultEngineConfig())
+	for _, n := range []int{1, 7, 128, 4096, 100_001} {
+		r := e.Transfer(n)
+		if r.Bytes != n {
+			t.Fatalf("bytes = %d, want %d", r.Bytes, n)
+		}
+		if r.Cycles <= 0 || r.Duration <= 0 {
+			t.Fatalf("degenerate result for n=%d: %+v", n, r)
+		}
+	}
+}
+
+func TestFIFODepthMatters(t *testing.T) {
+	// A 128-byte FIFO is "sufficient" (paper): a tiny FIFO stalls the
+	// ICAP during burst handshakes and loses throughput.
+	small := DefaultEngineConfig()
+	small.FIFOBytes = 8
+	rSmall := NewEngine(small).Transfer(1 << 18)
+	rBig := NewEngine(DefaultEngineConfig()).Transfer(1 << 18)
+	if rSmall.Throughput >= rBig.Throughput {
+		t.Fatalf("small FIFO (%.0f MB/s) should underperform 128 B FIFO (%.0f MB/s)",
+			rSmall.Throughput/1e6, rBig.Throughput/1e6)
+	}
+}
+
+func TestEngineStatsAccumulate(t *testing.T) {
+	e := NewEngine(DefaultEngineConfig())
+	e.Transfer(1000)
+	e.Transfer(2000)
+	swaps, total, energy := e.Stats()
+	if swaps != 2 || total <= 0 || energy <= 0 {
+		t.Fatalf("stats = %d %v %v", swaps, total, energy)
+	}
+}
+
+func TestManagerSwapsOnlyOnChange(t *testing.T) {
+	m := NewManager()
+	r1 := m.Require(BitstreamFeatureExtract)
+	if r1.Bytes == 0 {
+		t.Fatal("first require must transfer")
+	}
+	r2 := m.Require(BitstreamFeatureExtract)
+	if r2.Bytes != 0 {
+		t.Fatal("repeat require must be free")
+	}
+	r3 := m.Require(BitstreamFeatureTrack)
+	if r3.Bytes == 0 {
+		t.Fatal("variant change must transfer")
+	}
+	swaps, avoided := m.Stats()
+	if swaps != 2 || avoided != 1 {
+		t.Fatalf("swaps=%d avoided=%d", swaps, avoided)
+	}
+	if m.Current() != "feature-track" {
+		t.Fatalf("current = %s", m.Current())
+	}
+}
+
+func TestEngineResourceFootprint(t *testing.T) {
+	r := EngineResources()
+	if r.LUTs > 500 || r.FFs > 500 {
+		t.Fatalf("engine too big: %+v (paper: ~400/400)", r)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine(EngineConfig{})
+}
+
+func BenchmarkEngineTransfer1MB(b *testing.B) {
+	e := NewEngine(DefaultEngineConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Transfer(1 << 20)
+	}
+}

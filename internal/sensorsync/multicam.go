@@ -1,0 +1,78 @@
+package sensorsync
+
+import (
+	"time"
+
+	"sov/internal/isp"
+	"sov/internal/sensors"
+	"sov/internal/sim"
+	"sov/internal/stats"
+)
+
+// MultiCamResult summarizes an N-camera synchronization experiment: the
+// spread between the recovered capture timestamps of cameras triggered by
+// the same pulse, across all frames.
+type MultiCamResult struct {
+	Cameras   int
+	Frames    int
+	SpreadMs  *stats.Sample // per-trigger max pairwise spread, ms
+	MeanMs    float64
+	MaxMs     float64
+	IMUSynced bool // every camera trigger coincides with an IMU trigger
+}
+
+// MultiCameraSyncExperiment extends the hardware synchronizer to nCams
+// cameras (Sec. VI-A3: "synchronizing more cameras simply requires
+// expanding the number of trigger signals; the rest ... is all handled at
+// the application layer"). All cameras fire on the common 30 Hz pulse
+// (downsampled 8× from the 240 Hz IMU trigger); each camera's frame is
+// timestamped at its own sensor interface and software-adjusted by its
+// constant datasheet delays. The result verifies the recovered timestamps
+// agree to interface-jitter precision regardless of camera count.
+func MultiCameraSyncExperiment(nCams int, horizon time.Duration, rng *sim.RNG) MultiCamResult {
+	if nCams < 2 {
+		nCams = 2
+	}
+	cams := make([]*sensors.Camera, nCams)
+	pipes := make([]*sim.RNG, nCams)
+	pipe := isp.DefaultPipeline()
+	for i := range cams {
+		cfg := sensors.DefaultCameraConfig("cam")
+		// Per-camera exposure calibration differences are constant and
+		// known from the datasheet, hence compensable.
+		cfg.Exposure += time.Duration(i) * 500 * time.Microsecond
+		cams[i] = sensors.NewCamera(cfg)
+		pipes[i] = rng.Fork()
+	}
+	res := MultiCamResult{Cameras: nCams, SpreadMs: stats.NewSample(), IMUSynced: true}
+
+	imuPeriod := time.Second / 240
+	i := 0
+	for t := imuPeriod; t < horizon; t += imuPeriod {
+		i++
+		if i%8 != 0 {
+			continue // camera pulse is the IMU trigger downsampled 8x
+		}
+		recovered := make([]time.Duration, nCams)
+		for ci, cam := range cams {
+			f := cam.CaptureAt(t)
+			ifaceTS := f.ArrivalTime + pipe.InterfaceDelay(pipes[ci])
+			cfg := cam.Config
+			recovered[ci] = ifaceTS - cfg.Exposure - cfg.Readout + cfg.Exposure/2
+		}
+		min, max := recovered[0], recovered[0]
+		for _, r := range recovered[1:] {
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+		}
+		res.SpreadMs.Observe((max - min).Seconds() * 1000)
+		res.Frames++
+	}
+	res.MeanMs = res.SpreadMs.Mean()
+	res.MaxMs = res.SpreadMs.Max()
+	return res
+}

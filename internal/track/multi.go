@@ -1,0 +1,94 @@
+package track
+
+import (
+	"time"
+
+	"sov/internal/vision"
+)
+
+// VisualTarget is one object under multi-target KCF tracking.
+type VisualTarget struct {
+	ID       int
+	X, Y     float64
+	Peak     float64
+	Misses   int
+	LastSeen time.Duration
+}
+
+// MultiKCF manages one KCF filter per target — the visual-tracking fallback
+// configuration when radar is unstable across several objects at once.
+// Targets spawn from detections (by pixel position), update per frame, and
+// are pruned after consecutive low-confidence responses.
+type MultiKCF struct {
+	// PatchSize is the per-target template size (power of two).
+	PatchSize int
+	// SpawnGate is the pixel distance under which a detection is
+	// considered the same object as an existing target.
+	SpawnGate float64
+	// MaxMisses prunes a target after this many failed updates.
+	MaxMisses int
+
+	filters map[int]*KCF
+	targets map[int]*VisualTarget
+	nextID  int
+}
+
+// NewMultiKCF returns a manager with 32 px templates.
+func NewMultiKCF() *MultiKCF {
+	return &MultiKCF{
+		PatchSize: 32, SpawnGate: 12, MaxMisses: 3,
+		filters: make(map[int]*KCF),
+		targets: make(map[int]*VisualTarget),
+	}
+}
+
+// Spawn registers detections as targets: detections near an existing target
+// are ignored (it is already tracked); the rest initialize new filters.
+func (m *MultiKCF) Spawn(im *vision.Image, detections [][2]float64, now time.Duration) {
+	for _, d := range detections {
+		dup := false
+		for _, t := range m.targets {
+			dx, dy := t.X-d[0], t.Y-d[1]
+			if dx*dx+dy*dy < m.SpawnGate*m.SpawnGate {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		m.nextID++
+		k := NewKCF(m.PatchSize)
+		k.Init(im, d[0], d[1])
+		m.filters[m.nextID] = k
+		m.targets[m.nextID] = &VisualTarget{ID: m.nextID, X: d[0], Y: d[1], LastSeen: now}
+	}
+}
+
+// Update advances every target on the new frame and returns the live set.
+func (m *MultiKCF) Update(im *vision.Image, now time.Duration) []VisualTarget {
+	for id, k := range m.filters {
+		t := m.targets[id]
+		r := k.Update(im)
+		if r.OK {
+			t.X, t.Y = r.X, r.Y
+			t.Peak = r.Peak
+			t.Misses = 0
+			t.LastSeen = now
+		} else {
+			t.Misses++
+			if t.Misses >= m.MaxMisses {
+				delete(m.filters, id)
+				delete(m.targets, id)
+			}
+		}
+	}
+	out := make([]VisualTarget, 0, len(m.targets))
+	for _, t := range m.targets {
+		out = append(out, *t)
+	}
+	return out
+}
+
+// Count returns the live target count.
+func (m *MultiKCF) Count() int { return len(m.targets) }

@@ -1,0 +1,108 @@
+package vision
+
+// FAST-9 segment-test corner detection: a pixel is a corner when 9
+// contiguous pixels on the 16-pixel Bresenham circle are all brighter or
+// all darker than the center by a threshold. This is the detector ORB
+// builds on (Table III reference [67]); DetectCorners (Shi-Tomasi) remains
+// the quality-ranked alternative.
+
+// circleOffsets16 is the radius-3 Bresenham circle.
+var circleOffsets16 = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// fastScore returns the corner score (sum of absolute differences of the
+// contiguous arc) or 0 when the segment test fails.
+func fastScore(im *Image, x, y int, threshold float32) float64 {
+	c := im.At(x, y)
+	// Classify each circle pixel: +1 brighter, -1 darker, 0 similar.
+	var cls [16]int8
+	var diff [16]float32
+	for i, off := range circleOffsets16 {
+		v := im.At(x+off[0], y+off[1])
+		d := v - c
+		diff[i] = d
+		switch {
+		case d > threshold:
+			cls[i] = 1
+		case d < -threshold:
+			cls[i] = -1
+		}
+	}
+	// Look for 9 contiguous same-sign entries (wrap-around).
+	for _, want := range []int8{1, -1} {
+		run := 0
+		best := 0
+		for i := 0; i < 32; i++ { // doubled scan handles wrap
+			if cls[i%16] == want {
+				run++
+				if run > best {
+					best = run
+				}
+				if best >= 9 {
+					// Score: mean absolute contrast over the circle.
+					var s float64
+					for _, d := range diff {
+						if d < 0 {
+							s -= float64(d)
+						} else {
+							s += float64(d)
+						}
+					}
+					return s
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	return 0
+}
+
+// DetectFAST runs FAST-9 with 3×3 non-max suppression on the score map and
+// returns up to maxCorners corners, strongest first.
+func DetectFAST(im *Image, threshold float32, maxCorners int) []Corner {
+	if maxCorners <= 0 {
+		return nil
+	}
+	w, h := im.W, im.H
+	scores := make([]float64, w*h)
+	for y := 3; y < h-3; y++ {
+		for x := 3; x < w-3; x++ {
+			scores[y*w+x] = fastScore(im, x, y, threshold)
+		}
+	}
+	var cands []Corner
+	for y := 3; y < h-3; y++ {
+		for x := 3; x < w-3; x++ {
+			s := scores[y*w+x]
+			if s == 0 {
+				continue
+			}
+			if s >= scores[(y-1)*w+x-1] && s >= scores[(y-1)*w+x] && s >= scores[(y-1)*w+x+1] &&
+				s >= scores[y*w+x-1] && s > scores[y*w+x+1] &&
+				s > scores[(y+1)*w+x-1] && s > scores[(y+1)*w+x] && s > scores[(y+1)*w+x+1] {
+				cands = append(cands, Corner{X: x, Y: y, Score: s})
+			}
+		}
+	}
+	// Selection sort of the top maxCorners (candidate lists are small).
+	if len(cands) > 1 {
+		for i := 0; i < len(cands) && i < maxCorners; i++ {
+			best := i
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].Score > cands[best].Score {
+					best = j
+				}
+			}
+			cands[i], cands[best] = cands[best], cands[i]
+		}
+	}
+	if len(cands) > maxCorners {
+		cands = cands[:maxCorners]
+	}
+	return cands
+}

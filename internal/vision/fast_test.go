@@ -1,0 +1,102 @@
+package vision
+
+import "testing"
+
+// checkerCorner builds an image with a bright square on dark background:
+// its four corners are canonical FAST responses.
+func checkerCorner() *Image {
+	im := NewImage(48, 48)
+	for y := 16; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			im.Set(x, y, 1)
+		}
+	}
+	return im
+}
+
+func TestFASTDetectsSquareCorners(t *testing.T) {
+	im := checkerCorner()
+	corners := DetectFAST(im, 0.3, 20)
+	if len(corners) < 4 {
+		t.Fatalf("corners = %d, want the square's 4", len(corners))
+	}
+	// Every corner must lie near one of the square's vertices.
+	verts := [][2]int{{16, 16}, {31, 16}, {16, 31}, {31, 31}}
+	for _, c := range corners {
+		ok := false
+		for _, v := range verts {
+			dx, dy := c.X-v[0], c.Y-v[1]
+			if dx*dx+dy*dy <= 8 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("corner at (%d,%d) is not a square vertex", c.X, c.Y)
+		}
+	}
+	// Strongest first.
+	for i := 1; i < len(corners); i++ {
+		if corners[i].Score > corners[i-1].Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+}
+
+func TestFASTRejectsEdgesAndFlats(t *testing.T) {
+	// A straight vertical edge has at most 8 contiguous same-sign circle
+	// pixels: the 9-segment test must reject its interior.
+	im := NewImage(48, 48)
+	for y := 0; y < 48; y++ {
+		for x := 24; x < 48; x++ {
+			im.Set(x, y, 1)
+		}
+	}
+	for _, c := range DetectFAST(im, 0.3, 50) {
+		if c.Y > 8 && c.Y < 40 {
+			t.Fatalf("edge interior fired at (%d,%d)", c.X, c.Y)
+		}
+	}
+	if got := DetectFAST(NewImage(32, 32), 0.3, 10); len(got) != 0 {
+		t.Fatalf("flat image corners = %d", len(got))
+	}
+	if DetectFAST(checkerCorner(), 0.3, 0) != nil {
+		t.Fatal("maxCorners=0 should be nil")
+	}
+}
+
+func TestFASTOnRenderedSceneAgreesWithShiTomasi(t *testing.T) {
+	intr := DefaultIntrinsics()
+	s := Scene{Boxes: []Box{{X: 0, Y: 0, Z: 5, W: 2, H: 2, Texture: 4}}}
+	im := s.Render(intr, 0)
+	fast := DetectFAST(im, 0.08, 60)
+	st := DetectCorners(im, 60, 0.02, 5)
+	if len(fast) < 10 || len(st) < 10 {
+		t.Fatalf("fast=%d shi-tomasi=%d", len(fast), len(st))
+	}
+	// The two detectors should fire in overlapping regions: most FAST
+	// corners have a Shi-Tomasi corner within a few pixels.
+	nearby := 0
+	for _, f := range fast {
+		for _, c := range st {
+			dx, dy := f.X-c.X, f.Y-c.Y
+			if dx*dx+dy*dy <= 36 {
+				nearby++
+				break
+			}
+		}
+	}
+	if nearby*2 < len(fast) {
+		t.Fatalf("only %d/%d FAST corners near Shi-Tomasi corners", nearby, len(fast))
+	}
+}
+
+func BenchmarkDetectFAST(b *testing.B) {
+	intr := DefaultIntrinsics()
+	s := Scene{Background: 5, BgDepth: 10, Boxes: []Box{{X: 0, Y: 0, Z: 4, W: 3, H: 2, Texture: 9}}}
+	im := s.Render(intr, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectFAST(im, 0.08, 100)
+	}
+}

@@ -1,0 +1,149 @@
+package vision
+
+import (
+	"math"
+	"sort"
+)
+
+// Corner is a detected feature point with its Shi-Tomasi response.
+type Corner struct {
+	X, Y  int
+	Score float64
+}
+
+// DetectCorners finds up to maxCorners Shi-Tomasi corners (min eigenvalue of
+// the structure tensor over a 3×3 window) with greedy non-max suppression of
+// minDist pixels. This is the "feature extraction" kernel used on key
+// frames — the slower of the two localization front-end variants that the
+// runtime-partial-reconfiguration engine swaps between (Sec. V-B3).
+func DetectCorners(im *Image, maxCorners int, qualityLevel float64, minDist int) []Corner {
+	if maxCorners <= 0 {
+		return nil
+	}
+	w, h := im.W, im.H
+	scores := make([]float64, w*h)
+	maxScore := 0.0
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			var sxx, syy, sxy float64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					gx := float64(im.GradX(x+dx, y+dy))
+					gy := float64(im.GradY(x+dx, y+dy))
+					sxx += gx * gx
+					syy += gy * gy
+					sxy += gx * gy
+				}
+			}
+			// Min eigenvalue of [[sxx, sxy], [sxy, syy]].
+			tr := (sxx + syy) / 2
+			det := math.Sqrt((sxx-syy)*(sxx-syy)/4 + sxy*sxy)
+			lam := tr - det
+			scores[y*w+x] = lam
+			if lam > maxScore {
+				maxScore = lam
+			}
+		}
+	}
+	if maxScore == 0 {
+		return nil
+	}
+	thresh := maxScore * qualityLevel
+	cands := make([]Corner, 0, 256)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			s := scores[y*w+x]
+			if s < thresh {
+				continue
+			}
+			// Local 3x3 maximum.
+			if s >= scores[(y-1)*w+x-1] && s >= scores[(y-1)*w+x] && s >= scores[(y-1)*w+x+1] &&
+				s >= scores[y*w+x-1] && s > scores[y*w+x+1] &&
+				s > scores[(y+1)*w+x-1] && s > scores[(y+1)*w+x] && s > scores[(y+1)*w+x+1] {
+				cands = append(cands, Corner{X: x, Y: y, Score: s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	var out []Corner
+	minD2 := minDist * minDist
+	for _, c := range cands {
+		ok := true
+		for _, kept := range out {
+			dx, dy := c.X-kept.X, c.Y-kept.Y
+			if dx*dx+dy*dy < minD2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+			if len(out) == maxCorners {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TrackResult is the outcome of tracking one point with LK.
+type TrackResult struct {
+	X, Y     float64 // refined location in the next image
+	OK       bool    // converged within bounds
+	Residual float64 // mean absolute photometric residual at convergence
+}
+
+// TrackLK tracks the point (x, y) from prev into next using iterative
+// Lucas–Kanade over a (2*half+1)² patch. This is the "feature tracking"
+// kernel used on non-key frames — the faster RPR variant (the paper: 10 ms,
+// 50% faster than extraction).
+func TrackLK(prev, next *Image, x, y float64, half, iters int) TrackResult {
+	return TrackLKGuess(prev, next, x, y, x, y, half, iters)
+}
+
+// TrackLKGuess is TrackLK with an explicit initial estimate (gx, gy) of the
+// point's location in next — the hook the pyramidal tracker uses to seed
+// each finer level with the coarser level's displacement.
+func TrackLKGuess(prev, next *Image, x, y, gx, gy float64, half, iters int) TrackResult {
+	px, py := gx, gy
+	size := float64((2*half + 1) * (2*half + 1))
+	for it := 0; it < iters; it++ {
+		var gxx, gyy, gxy, bx, by float64
+		for dy := -half; dy <= half; dy++ {
+			for dx := -half; dx <= half; dx++ {
+				tx, ty := x+float64(dx), y+float64(dy)
+				gx := float64(prev.Bilinear(tx+1, ty)-prev.Bilinear(tx-1, ty)) / 2
+				gy := float64(prev.Bilinear(tx, ty+1)-prev.Bilinear(tx, ty-1)) / 2
+				diff := float64(next.Bilinear(px+float64(dx), py+float64(dy)) - prev.Bilinear(tx, ty))
+				gxx += gx * gx
+				gyy += gy * gy
+				gxy += gx * gy
+				bx -= gx * diff
+				by -= gy * diff
+			}
+		}
+		det := gxx*gyy - gxy*gxy
+		if det < 1e-12 {
+			return TrackResult{X: px, Y: py, OK: false, Residual: math.Inf(1)}
+		}
+		ux := (gyy*bx - gxy*by) / det
+		uy := (gxx*by - gxy*bx) / det
+		px += ux
+		py += uy
+		if math.Hypot(ux, uy) < 0.01 {
+			break
+		}
+	}
+	if px < 0 || py < 0 || px >= float64(next.W) || py >= float64(next.H) {
+		return TrackResult{X: px, Y: py, OK: false, Residual: math.Inf(1)}
+	}
+	var resid float64
+	for dy := -half; dy <= half; dy++ {
+		for dx := -half; dx <= half; dx++ {
+			d := float64(next.Bilinear(px+float64(dx), py+float64(dy)) - prev.Bilinear(x+float64(dx), y+float64(dy)))
+			resid += math.Abs(d)
+		}
+	}
+	resid /= size
+	return TrackResult{X: px, Y: py, OK: resid < 0.25, Residual: resid}
+}

@@ -1,0 +1,108 @@
+// Package vision is the camera-processing substrate: a grayscale image
+// container, a synthetic pinhole stereo renderer, Shi-Tomasi-style corner
+// extraction, pyramidal-free Lucas–Kanade patch tracking, and two stereo
+// matchers (dense block matching and an ELAS-style support-point matcher).
+// These are the "regular stencil" vision kernels the paper contrasts with
+// irregular LiDAR processing (Sec. III-D).
+package vision
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a single-channel float32 image, row-major.
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewImage allocates a zero image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("vision: invalid image size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y) with border clamping.
+func (im *Image) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set assigns the pixel at (x, y); out-of-bounds writes are dropped.
+func (im *Image) Set(x, y int, v float32) {
+	if x < 0 || x >= im.W || y < 0 || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Bilinear samples the image at a sub-pixel location.
+func (im *Image) Bilinear(x, y float64) float32 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	v00 := im.At(x0, y0)
+	v10 := im.At(x0+1, y0)
+	v01 := im.At(x0, y0+1)
+	v11 := im.At(x0+1, y0+1)
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	c := NewImage(im.W, im.H)
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// GradX returns the central-difference horizontal gradient at (x, y).
+func (im *Image) GradX(x, y int) float32 { return (im.At(x+1, y) - im.At(x-1, y)) / 2 }
+
+// GradY returns the central-difference vertical gradient at (x, y).
+func (im *Image) GradY(x, y int) float32 { return (im.At(x, y+1) - im.At(x, y-1)) / 2 }
+
+// Crop extracts a w×h sub-image centered at (cx, cy) with border clamping —
+// the detector-to-classifier hand-off (each detection box becomes a crop).
+func (im *Image) Crop(cx, cy, w, h int) *Image {
+	out := NewImage(w, h)
+	x0 := cx - w/2
+	y0 := cy - h/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = im.At(x0+x, y0+y)
+		}
+	}
+	return out
+}
+
+// MeanAbsDiff returns the mean absolute pixel difference between images of
+// identical shape; a cheap similarity metric used in tests.
+func MeanAbsDiff(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("vision: MeanAbsDiff shape mismatch")
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i] - b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(a.Pix))
+}

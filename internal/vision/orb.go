@@ -1,0 +1,98 @@
+package vision
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// Descriptor256 is a BRIEF/ORB-style 256-bit binary descriptor: each bit is
+// an intensity comparison between a fixed pair of offsets around the
+// keypoint. This is the key-frame feature-extraction path (Table III's ORB
+// reference) — the slower of the two localization front-end variants that
+// runtime partial reconfiguration swaps against LK tracking.
+type Descriptor256 [4]uint64
+
+// descriptorPattern is the fixed comparison-pair layout, generated once
+// deterministically (ORB learns its pattern offline; a seeded random
+// Gaussian pattern is the classic BRIEF construction).
+var descriptorPattern = func() [256][4]int {
+	rng := rand.New(rand.NewSource(0x0B5E55ED))
+	var out [256][4]int
+	for i := range out {
+		for j := 0; j < 4; j++ {
+			v := int(rng.NormFloat64() * 4)
+			if v > 12 {
+				v = 12
+			}
+			if v < -12 {
+				v = -12
+			}
+			out[i][j] = v
+		}
+	}
+	return out
+}()
+
+// DescribeORB computes the binary descriptor of a keypoint. Points closer
+// than 13 px to the border use clamped samples (acceptable for matching).
+func DescribeORB(im *Image, x, y int) Descriptor256 {
+	var d Descriptor256
+	for i, p := range descriptorPattern {
+		a := im.At(x+p[0], y+p[1])
+		b := im.At(x+p[2], y+p[3])
+		if a < b {
+			d[i/64] |= 1 << (i % 64)
+		}
+	}
+	return d
+}
+
+// HammingDistance counts differing bits between two descriptors.
+func HammingDistance(a, b Descriptor256) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return n
+}
+
+// FeatureMatch pairs a query keypoint index with a train keypoint index.
+type FeatureMatch struct {
+	Query, Train int
+	Distance     int
+}
+
+// MatchORB greedily matches descriptors with a ratio test: a match is kept
+// when its best Hamming distance is below maxDist and clearly better than
+// the second best (Lowe-style criterion adapted to binary descriptors).
+func MatchORB(query, train []Descriptor256, maxDist int) []FeatureMatch {
+	var out []FeatureMatch
+	for qi, q := range query {
+		best, second, bestTi := 257, 257, -1
+		for ti, t := range train {
+			d := HammingDistance(q, t)
+			if d < best {
+				second = best
+				best = d
+				bestTi = ti
+			} else if d < second {
+				second = d
+			}
+		}
+		if bestTi >= 0 && best <= maxDist && best*4 <= second*3 {
+			out = append(out, FeatureMatch{Query: qi, Train: bestTi, Distance: best})
+		}
+	}
+	return out
+}
+
+// ExtractAndDescribe runs the full key-frame front-end: corner detection
+// followed by descriptor extraction. Returns the corners and descriptors.
+func ExtractAndDescribe(im *Image, maxCorners int) ([]Corner, []Descriptor256) {
+	corners := DetectCorners(im, maxCorners, 0.02, 8)
+	descs := make([]Descriptor256, len(corners))
+	for i, c := range corners {
+		descs[i] = DescribeORB(im, c.X, c.Y)
+	}
+	return corners, descs
+}

@@ -1,0 +1,100 @@
+package vision
+
+import (
+	"testing"
+)
+
+func renderedPair() (*Image, *Image) {
+	intr := DefaultIntrinsics()
+	s1 := Scene{Background: 5, BgDepth: 12, Boxes: []Box{{X: 0, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	s2 := Scene{Background: 5, BgDepth: 12, Boxes: []Box{{X: 0.08, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	return s1.Render(intr, 0), s2.Render(intr, 0)
+}
+
+func TestDescriptorSelfDistanceZero(t *testing.T) {
+	im, _ := renderedPair()
+	d := DescribeORB(im, 80, 60)
+	if HammingDistance(d, d) != 0 {
+		t.Fatal("self distance != 0")
+	}
+}
+
+func TestDescriptorDistinguishesPoints(t *testing.T) {
+	im, _ := renderedPair()
+	a := DescribeORB(im, 60, 50)
+	b := DescribeORB(im, 100, 70)
+	if HammingDistance(a, b) < 40 {
+		t.Fatalf("distinct textured points too similar: %d bits", HammingDistance(a, b))
+	}
+}
+
+func TestHammingDistanceKnown(t *testing.T) {
+	var a, b Descriptor256
+	a[0] = 0xFF
+	b[0] = 0x0F
+	if HammingDistance(a, b) != 4 {
+		t.Fatalf("distance = %d, want 4", HammingDistance(a, b))
+	}
+}
+
+func TestMatchORBAcrossShift(t *testing.T) {
+	im1, im2 := renderedPair()
+	// 0.08 m at Z=5, f=120 → 1.92 px shift.
+	c1, d1 := ExtractAndDescribe(im1, 30)
+	c2, d2 := ExtractAndDescribe(im2, 30)
+	if len(c1) < 8 || len(c2) < 8 {
+		t.Fatalf("corners = %d/%d", len(c1), len(c2))
+	}
+	matches := MatchORB(d1, d2, 60)
+	if len(matches) < 5 {
+		t.Fatalf("matches = %d, want >= 5", len(matches))
+	}
+	// Box corners shift ~+1.9 px; background corners stay put. Either is
+	// a correct correspondence — outliers would show large displacements.
+	good := 0
+	for _, m := range matches {
+		dx := float64(c2[m.Train].X - c1[m.Query].X)
+		dy := float64(c2[m.Train].Y - c1[m.Query].Y)
+		if dx >= -1.5 && dx <= 4 && dy >= -2.5 && dy <= 2.5 {
+			good++
+		}
+	}
+	if good*3 < len(matches)*2 {
+		t.Fatalf("only %d/%d matches geometrically consistent", good, len(matches))
+	}
+}
+
+func TestMatchORBRatioTestRejectsAmbiguity(t *testing.T) {
+	// Identical train descriptors: best == second best, ratio test fails.
+	var q, t1, t2 Descriptor256
+	q[0] = 0xAAAA
+	matches := MatchORB([]Descriptor256{q}, []Descriptor256{t1, t2}, 256)
+	if len(matches) != 0 {
+		t.Fatalf("ambiguous match kept: %+v", matches)
+	}
+}
+
+func TestMatchORBEmpty(t *testing.T) {
+	if got := MatchORB(nil, nil, 60); len(got) != 0 {
+		t.Fatal("empty match")
+	}
+}
+
+func BenchmarkExtractAndDescribe(b *testing.B) {
+	im, _ := renderedPair()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractAndDescribe(im, 60)
+	}
+}
+
+func BenchmarkMatchORB(b *testing.B) {
+	im1, im2 := renderedPair()
+	_, d1 := ExtractAndDescribe(im1, 60)
+	_, d2 := ExtractAndDescribe(im2, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchORB(d1, d2, 60)
+	}
+}

@@ -1,0 +1,67 @@
+package vision
+
+// Pyramid is an image pyramid (2× downsampling per level with 2×2
+// averaging) used by the pyramidal LK tracker to handle displacements
+// larger than a patch radius — the regime the fast non-keyframe front-end
+// (Sec. V-B3) must survive at vehicle speeds.
+type Pyramid struct {
+	Levels []*Image
+}
+
+// NewPyramid builds up to levels levels (level 0 is the source image).
+func NewPyramid(im *Image, levels int) *Pyramid {
+	if levels < 1 {
+		levels = 1
+	}
+	p := &Pyramid{Levels: make([]*Image, 0, levels)}
+	p.Levels = append(p.Levels, im)
+	cur := im
+	for l := 1; l < levels; l++ {
+		if cur.W < 16 || cur.H < 16 {
+			break
+		}
+		cur = downsample2(cur)
+		p.Levels = append(p.Levels, cur)
+	}
+	return p
+}
+
+// downsample2 halves each dimension with 2x2 averaging.
+func downsample2(im *Image) *Image {
+	out := NewImage(im.W/2, im.H/2)
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			s := im.At(2*x, 2*y) + im.At(2*x+1, 2*y) + im.At(2*x, 2*y+1) + im.At(2*x+1, 2*y+1)
+			out.Set(x, y, s/4)
+		}
+	}
+	return out
+}
+
+// TrackLKPyramid tracks (x, y) from prev into next coarse-to-fine: each
+// level's displacement seeds the next finer level, extending the
+// convergence basin by 2^(levels-1) over plain LK.
+func TrackLKPyramid(prev, next *Pyramid, x, y float64, half, iters int) TrackResult {
+	n := len(prev.Levels)
+	if len(next.Levels) < n {
+		n = len(next.Levels)
+	}
+	if n == 0 {
+		return TrackResult{OK: false}
+	}
+	// Displacement estimate, in the coordinates of the level being solved.
+	dx, dy := 0.0, 0.0
+	var res TrackResult
+	for l := n - 1; l >= 0; l-- {
+		scale := float64(int(1) << l)
+		lx, ly := x/scale, y/scale
+		res = TrackLKGuess(prev.Levels[l], next.Levels[l], lx, ly, lx+dx, ly+dy, half, iters)
+		dx = res.X - lx
+		dy = res.Y - ly
+		if l > 0 {
+			dx *= 2
+			dy *= 2
+		}
+	}
+	return TrackResult{X: x + dx, Y: y + dy, OK: res.OK, Residual: res.Residual}
+}

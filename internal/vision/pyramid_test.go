@@ -1,0 +1,113 @@
+package vision
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPyramidShapes(t *testing.T) {
+	im := NewImage(160, 120)
+	p := NewPyramid(im, 3)
+	if len(p.Levels) != 3 {
+		t.Fatalf("levels = %d", len(p.Levels))
+	}
+	if p.Levels[1].W != 80 || p.Levels[2].W != 40 {
+		t.Fatalf("widths = %d %d", p.Levels[1].W, p.Levels[2].W)
+	}
+	if p.Levels[0] != im {
+		t.Fatal("level 0 must be the source image")
+	}
+}
+
+func TestPyramidStopsAtSmallImages(t *testing.T) {
+	im := NewImage(20, 20)
+	p := NewPyramid(im, 5)
+	if len(p.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2 (10x10 is below the floor)", len(p.Levels))
+	}
+	if q := NewPyramid(im, 0); len(q.Levels) != 1 {
+		t.Fatal("levels<1 should clamp to 1")
+	}
+}
+
+func TestDownsamplePreservesMean(t *testing.T) {
+	im := NewImage(8, 8)
+	var sum float32
+	for i := range im.Pix {
+		im.Pix[i] = float32(i) / 64
+		sum += im.Pix[i]
+	}
+	d := downsample2(im)
+	var dsum float32
+	for _, v := range d.Pix {
+		dsum += v
+	}
+	if math.Abs(float64(sum/64-dsum/16)) > 1e-6 {
+		t.Fatalf("mean changed: %v vs %v", sum/64, dsum/16)
+	}
+}
+
+func TestPyramidalLKRecoversLargeShift(t *testing.T) {
+	intr := DefaultIntrinsics()
+	// 0.3 m at Z=5 with f=120 → 7.2 px shift: beyond plain LK's basin
+	// with a 4 px patch, within the pyramid's.
+	s1 := Scene{Boxes: []Box{{X: 0, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	s2 := Scene{Boxes: []Box{{X: 0.3, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	im1 := s1.Render(intr, 0)
+	im2 := s2.Render(intr, 0)
+	p1 := NewPyramid(im1, 3)
+	p2 := NewPyramid(im2, 3)
+
+	corners := DetectCorners(im1, 15, 0.05, 8)
+	if len(corners) == 0 {
+		t.Fatal("no corners")
+	}
+	plainOK, pyrOK := 0, 0
+	for _, c := range corners {
+		if c.X < 40 || c.X > 115 || c.Y < 30 || c.Y > 90 {
+			continue
+		}
+		plain := TrackLK(im1, im2, float64(c.X), float64(c.Y), 4, 25)
+		pyr := TrackLKPyramid(p1, p2, float64(c.X), float64(c.Y), 4, 25)
+		if plain.OK && math.Abs(plain.X-float64(c.X)-7.2) < 1 {
+			plainOK++
+		}
+		if pyr.OK && math.Abs(pyr.X-float64(c.X)-7.2) < 1 {
+			pyrOK++
+		}
+	}
+	if pyrOK < 3 {
+		t.Fatalf("pyramidal LK recovered only %d corners", pyrOK)
+	}
+	if pyrOK <= plainOK {
+		t.Fatalf("pyramid (%d) should beat plain LK (%d) on a 7.2 px shift", pyrOK, plainOK)
+	}
+}
+
+func TestPyramidalLKSmallShiftStillWorks(t *testing.T) {
+	intr := DefaultIntrinsics()
+	s1 := Scene{Boxes: []Box{{X: 0, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	s2 := Scene{Boxes: []Box{{X: 0.05, Y: 0, Z: 5, W: 3, H: 2.4, Texture: 4}}}
+	p1 := NewPyramid(s1.Render(intr, 0), 3)
+	p2 := NewPyramid(s2.Render(intr, 0), 3)
+	r := TrackLKPyramid(p1, p2, 80, 60, 4, 25)
+	if !r.OK {
+		t.Fatalf("lost small shift: %+v", r)
+	}
+	if math.Abs(r.X-80-1.2) > 0.6 {
+		t.Fatalf("x = %v, want ~81.2", r.X)
+	}
+}
+
+func BenchmarkTrackLKPyramid(b *testing.B) {
+	intr := DefaultIntrinsics()
+	s1 := Scene{Background: 5, BgDepth: 10, Boxes: []Box{{X: 0, Y: 0, Z: 4, W: 3, H: 2, Texture: 9}}}
+	s2 := Scene{Background: 5, BgDepth: 10, Boxes: []Box{{X: 0.1, Y: 0, Z: 4, W: 3, H: 2, Texture: 9}}}
+	p1 := NewPyramid(s1.Render(intr, 0), 3)
+	p2 := NewPyramid(s2.Render(intr, 0), 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrackLKPyramid(p1, p2, 80, 60, 4, 20)
+	}
+}

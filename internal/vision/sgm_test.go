@@ -1,0 +1,96 @@
+package vision
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGMRecoversKnownDepth(t *testing.T) {
+	rig := DefaultStereoRig()
+	z := 3.0
+	s := Scene{Background: 5, BgDepth: 30, Boxes: []Box{{X: 0, Y: 0, Z: z, W: 3, H: 2.4, Texture: 11}}}
+	left, right := s.RenderStereo(rig)
+	m := SGM(left, right, DefaultSGMConfig())
+	med, ok := MedianDisparityIn(m, 60, 40, 100, 80)
+	if !ok {
+		t.Fatal("no disparities on the object")
+	}
+	want := rig.DisparityFromDepth(z)
+	if math.Abs(float64(med)-want) > 0.5 {
+		t.Fatalf("SGM median disparity = %v, want %v", med, want)
+	}
+}
+
+func TestSGMAgreesWithBlockMatch(t *testing.T) {
+	rig := DefaultStereoRig()
+	s := Scene{Background: 5, BgDepth: 20, Boxes: []Box{{X: 0, Y: 0, Z: 4, W: 3, H: 2.4, Texture: 9}}}
+	left, right := s.RenderStereo(rig)
+	sgm := SGM(left, right, DefaultSGMConfig())
+	bm := BlockMatch(left, right, 16, 3)
+	sm, ok1 := MedianDisparityIn(sgm, 60, 40, 100, 80)
+	bmm, ok2 := MedianDisparityIn(bm, 60, 40, 100, 80)
+	if !ok1 || !ok2 {
+		t.Fatal("missing disparities")
+	}
+	if math.Abs(float64(sm-bmm)) > 0.75 {
+		t.Fatalf("SGM %v vs block match %v", sm, bmm)
+	}
+}
+
+func TestSGMDensity(t *testing.T) {
+	// The smoothness prior fills more pixels than plain block matching on
+	// the same scene.
+	rig := DefaultStereoRig()
+	s := Scene{Background: 5, BgDepth: 8}
+	left, right := s.RenderStereo(rig)
+	sgm := SGM(left, right, DefaultSGMConfig())
+	bm := BlockMatch(left, right, 16, 3)
+	if sgm.ValidFraction() < bm.ValidFraction()-0.02 {
+		t.Fatalf("SGM density %.2f below block matching %.2f",
+			sgm.ValidFraction(), bm.ValidFraction())
+	}
+	if sgm.ValidFraction() < 0.5 {
+		t.Fatalf("SGM density = %.2f, want dense output", sgm.ValidFraction())
+	}
+}
+
+func TestSGMSmoothness(t *testing.T) {
+	// On a fronto-parallel plane the disparity gradient should be near
+	// zero almost everywhere.
+	rig := DefaultStereoRig()
+	s := Scene{Background: 7, BgDepth: 6}
+	left, right := s.RenderStereo(rig)
+	m := SGM(left, right, DefaultSGMConfig())
+	jumps := 0
+	valid := 0
+	for y := 10; y < m.H-10; y++ {
+		for x := 20; x < m.W-10; x++ {
+			a, b := m.At(x, y), m.At(x+1, y)
+			if a < 0 || b < 0 {
+				continue
+			}
+			valid++
+			if math.Abs(float64(a-b)) > 1 {
+				jumps++
+			}
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no valid pairs")
+	}
+	if frac := float64(jumps) / float64(valid); frac > 0.05 {
+		t.Fatalf("disparity jump fraction = %.3f on a plane, want smooth", frac)
+	}
+}
+
+func BenchmarkSGM160x120(b *testing.B) {
+	rig := DefaultStereoRig()
+	s := Scene{Background: 5, BgDepth: 10, Boxes: []Box{{X: 0, Y: 0, Z: 4, W: 3, H: 2, Texture: 9}}}
+	left, right := s.RenderStereo(rig)
+	cfg := DefaultSGMConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SGM(left, right, cfg)
+	}
+}

@@ -1,0 +1,141 @@
+package vision
+
+import "math"
+
+// Stixel is one column-wise obstacle segment extracted from a disparity
+// map: the compact intermediate representation between dense stereo and
+// object-level perception.
+type Stixel struct {
+	X      int     // image column
+	Top    int     // first obstacle row
+	Bottom int     // last obstacle row
+	Depth  float64 // metric depth of the segment
+}
+
+// GroundModel is the expected disparity of the ground plane per image row:
+// d(v) = A*(v - Horizon) for v below the horizon, 0 above. For a camera at
+// height h with focal length f and baseline b, A = b/h.
+type GroundModel struct {
+	Horizon float64 // row of the horizon
+	A       float64 // disparity slope per row below the horizon
+}
+
+// GroundModelFor builds the model from the rig geometry and camera height.
+func GroundModelFor(rig StereoRig, cameraHeight float64) GroundModel {
+	if cameraHeight <= 0 {
+		cameraHeight = 1.2
+	}
+	return GroundModel{
+		Horizon: rig.Intr.Cy,
+		A:       rig.Baseline / cameraHeight,
+	}
+}
+
+// Expected returns the ground disparity at image row v.
+func (g GroundModel) Expected(v int) float64 {
+	d := g.A * (float64(v) - g.Horizon)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ExtractStixels segments each column of the disparity map into obstacle
+// runs: consecutive pixels whose disparity exceeds the ground model by
+// margin and stays within coherence of the run's median. Runs shorter than
+// minHeight rows are dropped.
+func ExtractStixels(m *DisparityMap, rig StereoRig, g GroundModel, margin float32, coherence float32, minHeight int) []Stixel {
+	var out []Stixel
+	for x := 0; x < m.W; x++ {
+		runStart := -1
+		var runSum float64
+		var runN int
+		flush := func(end int) {
+			if runStart >= 0 && end-runStart >= minHeight && runN > 0 {
+				meanD := runSum / float64(runN)
+				out = append(out, Stixel{
+					X: x, Top: runStart, Bottom: end - 1,
+					Depth: rig.DepthFromDisparity(meanD),
+				})
+			}
+			runStart = -1
+			runSum, runN = 0, 0
+		}
+		for y := 0; y < m.H; y++ {
+			d := m.At(x, y)
+			isObstacle := d >= 0 && float64(d) > g.Expected(y)+float64(margin)
+			if isObstacle && runStart >= 0 && runN > 0 {
+				// Depth coherence: a new surface starts a new run.
+				if math.Abs(float64(d)-runSum/float64(runN)) > float64(coherence) {
+					flush(y)
+				}
+			}
+			if isObstacle {
+				if runStart < 0 {
+					runStart = y
+				}
+				runSum += float64(d)
+				runN++
+			} else {
+				flush(y)
+			}
+		}
+		flush(m.H)
+	}
+	return out
+}
+
+// StixelObject is a cluster of adjacent stixels at consistent depth — an
+// object candidate with an image bounding box and a metric position.
+type StixelObject struct {
+	X0, X1, Top, Bottom int
+	Depth               float64
+	// LateralM is the metric lateral offset of the object center.
+	LateralM float64
+}
+
+// GroupStixels merges column-adjacent stixels whose depths agree within
+// depthTol meters into object candidates, dropping groups narrower than
+// minWidth columns.
+func GroupStixels(stixels []Stixel, rig StereoRig, depthTol float64, minWidth int) []StixelObject {
+	var out []StixelObject
+	used := make([]bool, len(stixels))
+	for i := range stixels {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		obj := StixelObject{
+			X0: stixels[i].X, X1: stixels[i].X,
+			Top: stixels[i].Top, Bottom: stixels[i].Bottom,
+			Depth: stixels[i].Depth,
+		}
+		n := 1.0
+		for j := i + 1; j < len(stixels); j++ {
+			if used[j] {
+				continue
+			}
+			s := stixels[j]
+			if s.X <= obj.X1+2 && math.Abs(s.Depth-obj.Depth) <= depthTol {
+				used[j] = true
+				if s.X > obj.X1 {
+					obj.X1 = s.X
+				}
+				if s.Top < obj.Top {
+					obj.Top = s.Top
+				}
+				if s.Bottom > obj.Bottom {
+					obj.Bottom = s.Bottom
+				}
+				obj.Depth = (obj.Depth*n + s.Depth) / (n + 1)
+				n++
+			}
+		}
+		if obj.X1-obj.X0+1 >= minWidth {
+			cx := float64(obj.X0+obj.X1) / 2
+			obj.LateralM = (cx - rig.Intr.Cx) / rig.Intr.Fx * obj.Depth
+			out = append(out, obj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package vision
+
+import (
+	"math"
+	"testing"
+)
+
+// stixelScene: two boxes at different depths and lateral offsets over a
+// distant background.
+func stixelScene() (StereoRig, *DisparityMap) {
+	rig := DefaultStereoRig()
+	// No background plane: at 30 m the procedural texture aliases below
+	// pixel scale and is unmatchable by any stereo algorithm (see the
+	// texture-resolution note in render.go), which is physically the
+	// "featureless distant background" case.
+	s := Scene{
+		Boxes: []Box{
+			{X: -1.2, Y: 0, Z: 4, W: 1.2, H: 1.6, Texture: 11},
+			{X: 1.5, Y: 0, Z: 6, W: 1.2, H: 1.6, Texture: 23},
+		},
+	}
+	left, right := s.RenderStereo(rig)
+	return rig, SGM(left, right, DefaultSGMConfig())
+}
+
+func TestExtractStixelsFindsObstacles(t *testing.T) {
+	rig, m := stixelScene()
+	g := GroundModelFor(rig, 1.2)
+	stixels := ExtractStixels(m, rig, g, 1.0, 1.5, 8)
+	if len(stixels) < 10 {
+		t.Fatalf("stixels = %d, want columns across both boxes", len(stixels))
+	}
+	// Every stixel should be at one of the two box depths.
+	for _, s := range stixels {
+		// Box-edge columns mix object and background disparities (SGM
+		// smear), so the per-column tolerance is loose; grouping below
+		// tightens it.
+		near4 := math.Abs(s.Depth-4) < 1.2
+		near6 := math.Abs(s.Depth-6) < 1.6
+		if !near4 && !near6 {
+			t.Fatalf("stixel at depth %.2f, want ~4 or ~6", s.Depth)
+		}
+		if s.Bottom <= s.Top {
+			t.Fatalf("degenerate stixel %+v", s)
+		}
+	}
+}
+
+func TestGroupStixelsSeparatesObjects(t *testing.T) {
+	rig, m := stixelScene()
+	g := GroundModelFor(rig, 1.2)
+	stixels := ExtractStixels(m, rig, g, 1.0, 1.5, 8)
+	objs := GroupStixels(stixels, rig, 1.2, 6)
+	if len(objs) != 2 {
+		t.Fatalf("objects = %d, want 2", len(objs))
+	}
+	// Identify by depth.
+	var nearObj, farObj *StixelObject
+	for i := range objs {
+		if math.Abs(objs[i].Depth-4) < 0.8 {
+			nearObj = &objs[i]
+		}
+		if math.Abs(objs[i].Depth-6) < 0.8 {
+			farObj = &objs[i]
+		}
+	}
+	if nearObj == nil || farObj == nil {
+		t.Fatalf("depths = %+v", objs)
+	}
+	// Lateral positions: -1.2 m and +1.5 m.
+	if math.Abs(nearObj.LateralM-(-1.2)) > 0.5 {
+		t.Fatalf("near lateral = %.2f, want ~-1.2", nearObj.LateralM)
+	}
+	if math.Abs(farObj.LateralM-1.5) > 0.5 {
+		t.Fatalf("far lateral = %.2f, want ~1.5", farObj.LateralM)
+	}
+}
+
+func TestGroundModel(t *testing.T) {
+	rig := DefaultStereoRig()
+	g := GroundModelFor(rig, 1.2)
+	if g.Expected(int(g.Horizon)-10) != 0 {
+		t.Fatal("above-horizon ground disparity must be 0")
+	}
+	if g.Expected(int(g.Horizon)+20) <= g.Expected(int(g.Horizon)+10) {
+		t.Fatal("ground disparity must grow downward")
+	}
+	// Degenerate camera height defaults instead of dividing by zero.
+	g2 := GroundModelFor(rig, 0)
+	if g2.A <= 0 || math.IsInf(g2.A, 0) {
+		t.Fatalf("A = %v", g2.A)
+	}
+}
+
+func TestExtractStixelsEmptyScene(t *testing.T) {
+	rig := DefaultStereoRig()
+	s := Scene{}
+	left, right := s.RenderStereo(rig)
+	m := SGM(left, right, DefaultSGMConfig())
+	g := GroundModelFor(rig, 1.2)
+	stixels := ExtractStixels(m, rig, g, 1.0, 1.5, 8)
+	if len(stixels) != 0 {
+		t.Fatalf("empty scene produced %d stixels", len(stixels))
+	}
+}
+
+func BenchmarkStixelPipeline(b *testing.B) {
+	rig, m := stixelScene()
+	g := GroundModelFor(rig, 1.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupStixels(ExtractStixels(m, rig, g, 1.0, 1.5, 8), rig, 0.8, 4)
+	}
+}

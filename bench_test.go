@@ -34,6 +34,7 @@ import (
 func BenchmarkFig2LatencyModel(b *testing.B) {
 	m := models.DefaultLatencyModel()
 	var d float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d = m.StoppingDistance(164 * time.Millisecond)
 	}
@@ -46,6 +47,7 @@ func BenchmarkFig2LatencyModel(b *testing.B) {
 func BenchmarkFig3aLatencyRequirement(b *testing.B) {
 	m := models.DefaultLatencyModel()
 	var pts []models.RequirementPoint
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts = gatherFig3a(m)
 	}
@@ -64,6 +66,7 @@ func BenchmarkFig3bDrivingTime(b *testing.B) {
 	em := models.DefaultEnergyModel()
 	base := models.DefaultPowerBudget().TotalKW()
 	var cur float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cur = em.ReducedDrivingTimeHours(base)
 	}
@@ -77,6 +80,7 @@ func BenchmarkFig3bDrivingTime(b *testing.B) {
 
 func BenchmarkTable1PowerBreakdown(b *testing.B) {
 	var total float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		total = models.DefaultPowerBudget().TotalW()
 	}
@@ -85,6 +89,7 @@ func BenchmarkTable1PowerBreakdown(b *testing.B) {
 
 func BenchmarkTable2CostBreakdown(b *testing.B) {
 	var ratio float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ratio = models.DefaultLiDARVehicleCost().SensorTotalUSD() /
 			models.DefaultCameraVehicleCost().SensorTotalUSD()
@@ -100,6 +105,7 @@ func BenchmarkFig4aPointReuse(b *testing.B) {
 	scan := pointcloud.GenerateScan(3000, 100, rng.Fork())
 	moved := scan.Transform(0.03, mathx.Vec3{X: 0.3})
 	var spread float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tree := pointcloud.Build(scan, nil)
 		pointcloud.Localize(tree, moved, nil, 15, 2)
@@ -124,6 +130,7 @@ func BenchmarkFig4bMemoryTraffic(b *testing.B) {
 	scan := pointcloud.GenerateScan(3000, 42, rng.Fork())
 	moved := scan.Transform(0.02, mathx.Vec3{X: 0.2})
 	var loc, seg float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := cachesim.New(cachesim.Config{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 8})
 		tree := pointcloud.Build(scan, c)
@@ -145,6 +152,7 @@ func BenchmarkFig4bMemoryTraffic(b *testing.B) {
 
 func BenchmarkFig6aPlatformLatency(b *testing.B) {
 	var tx2 time.Duration
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tx2 = platform.TX2CumulativePerception()
 	}
@@ -157,6 +165,7 @@ func BenchmarkFig6aPlatformLatency(b *testing.B) {
 func BenchmarkFig6bPlatformEnergy(b *testing.B) {
 	cat := platform.Catalog()
 	var e float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e, _ = cat["CPU"].Energy(platform.TaskDepth)
 	}
@@ -170,6 +179,7 @@ func BenchmarkFig6bPlatformEnergy(b *testing.B) {
 
 func BenchmarkFig8MappingStrategies(b *testing.B) {
 	var results []platform.PerceptionResult
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results = platform.ExploreMappings()
 	}
@@ -189,6 +199,7 @@ func BenchmarkFig8MappingStrategies(b *testing.B) {
 func BenchmarkFig9RPREngine(b *testing.B) {
 	eng := rpr.NewEngine(rpr.DefaultEngineConfig())
 	var r rpr.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r = eng.Transfer(rpr.BitstreamFeatureExtract.Bytes)
 	}
@@ -203,6 +214,7 @@ func BenchmarkFig9RPREngine(b *testing.B) {
 
 func BenchmarkFig10aLatencyDistribution(b *testing.B) {
 	var rep *core.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig()
 		w := core.CruiseScenario(3)
@@ -218,6 +230,7 @@ func BenchmarkFig10aLatencyDistribution(b *testing.B) {
 
 func BenchmarkFig10bPerceptionTasks(b *testing.B) {
 	var rep *core.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig()
 		w := core.CruiseScenario(3)
@@ -234,6 +247,7 @@ func BenchmarkFig10bPerceptionTasks(b *testing.B) {
 
 func BenchmarkFig11aDepthVsSync(b *testing.B) {
 	var e30, e90 float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e30 = sensorsync.DepthErrorAtOffset(30*time.Millisecond, 5, 1.2, 25)
 		e90 = sensorsync.DepthErrorAtOffset(90*time.Millisecond, 5, 1.2, 25)
@@ -252,6 +266,7 @@ func BenchmarkFig11bLocalizationVsSync(b *testing.B) {
 	w := world.NewRing(20, sim.NewRNG(8))
 	traj := vio.CircleTrajectory(20, 5.6)
 	var synced, off40 vio.RunResult
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		synced = vio.RunTrajectory(cfg, imuCfg, traj, w,
 			vio.RunOptions{Duration: 40 * time.Second}, sim.NewRNG(9))
@@ -267,6 +282,7 @@ func BenchmarkFig11bLocalizationVsSync(b *testing.B) {
 
 func BenchmarkFig12HardwareSync(b *testing.B) {
 	var sw, hw sensorsync.PairingResult
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sw = sensorsync.SoftwareSyncExperiment(10*time.Second, sim.NewRNG(13))
 		hw = sensorsync.HardwareSyncExperiment(10*time.Second, sim.NewRNG(13))
@@ -279,6 +295,7 @@ func BenchmarkFig12HardwareSync(b *testing.B) {
 
 func BenchmarkThroughputPipeline(b *testing.B) {
 	var rep *core.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig()
 		rep = core.New(cfg, core.CruiseScenario(5)).Run(30 * time.Second)
@@ -288,6 +305,7 @@ func BenchmarkThroughputPipeline(b *testing.B) {
 
 func BenchmarkReactivePath(b *testing.B) {
 	var out core.CutInOutcome
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out = core.RunSuddenObstacle(core.DefaultConfig(), 4.5, 25*time.Second)
 	}
@@ -362,6 +380,7 @@ func BenchmarkAllExperimentsReport(b *testing.B) {
 		b.Skip("full pass")
 	}
 	var out string
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out = experiments.All(1, 30*time.Second, 2000)
 	}
@@ -380,6 +399,7 @@ func ablationRun(mutate func(*core.Config)) *core.Report {
 
 func BenchmarkAblationNoFPGAOffload(b *testing.B) {
 	var ours, shared *core.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ours = ablationRun(nil)
 		shared = ablationRun(func(c *core.Config) { c.FPGAOffload = false })
@@ -390,6 +410,7 @@ func BenchmarkAblationNoFPGAOffload(b *testing.B) {
 
 func BenchmarkAblationSoftwareSync(b *testing.B) {
 	var hw, sw *core.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		hw = ablationRun(nil)
 		sw = ablationRun(func(c *core.Config) { c.HardwareSync = false })
@@ -399,6 +420,7 @@ func BenchmarkAblationSoftwareSync(b *testing.B) {
 
 func BenchmarkAblationKCFTracking(b *testing.B) {
 	var radar, kcf *core.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		radar = ablationRun(nil)
 		kcf = ablationRun(func(c *core.Config) { c.RadarTracking = false })
@@ -408,6 +430,7 @@ func BenchmarkAblationKCFTracking(b *testing.B) {
 
 func BenchmarkAblationEMPlanner(b *testing.B) {
 	var mpc, em *core.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mpc = ablationRun(nil)
 		em = ablationRun(func(c *core.Config) { c.EMPlanner = true })
@@ -418,6 +441,7 @@ func BenchmarkAblationEMPlanner(b *testing.B) {
 
 func BenchmarkAblationNoReactivePath(b *testing.B) {
 	var with, without core.CutInOutcome
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		with = core.RunSuddenObstacle(core.DefaultConfig(), 4.5, 25*time.Second)
 		cfg := core.DefaultConfig()

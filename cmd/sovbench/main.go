@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	sovbench [-duration 120s] [-seed 1] [-points 4000] [-only fig10]
+//	sovbench [-duration 120s] [-seed 1] [-points 4000] [-only fig10] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
 	"sov/internal/experiments"
+	"sov/internal/parallel"
 )
 
 func main() {
@@ -21,7 +23,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	points := flag.Int("points", 4000, "points per synthetic LiDAR scan")
 	only := flag.String("only", "", "run a single experiment: fig2|fig3a|fig3b|table1|table2|fig4a|fig4b|fig6|fig8|fig9|fig10|fig11a|fig11b|fig12|reactive|fusion|extensions|csv")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *only == "" {
 		fmt.Print(experiments.All(*seed, *duration, *points))

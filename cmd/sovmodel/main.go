@@ -3,32 +3,37 @@
 //
 // Usage:
 //
-//	sovmodel latency -distance 5 [-speed 5.6] [-decel 4]
-//	sovmodel energy  -pad 0.175 [-extra 31]
-//	sovmodel cost
+//	sovmodel [-workers N] latency -distance 5 [-speed 5.6] [-decel 4]
+//	sovmodel [-workers N] energy  -pad 0.175 [-extra 31]
+//	sovmodel [-workers N] cost
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
+	"runtime"
 	"time"
 
 	"sov/internal/models"
+	"sov/internal/parallel"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		return
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "latency":
 		fs := flag.NewFlagSet("latency", flag.ExitOnError)
 		distance := fs.Float64("distance", 5, "object distance in meters")
 		speed := fs.Float64("speed", 5.6, "vehicle speed m/s")
 		decel := fs.Float64("decel", 4, "brake deceleration m/s2")
-		_ = fs.Parse(os.Args[2:])
+		_ = fs.Parse(args[1:])
 		m := models.DefaultLatencyModel()
 		m.Speed = *speed
 		m.BrakeDecel = *decel
@@ -46,7 +51,7 @@ func main() {
 		pad := fs.Float64("pad", models.DefaultPowerBudget().TotalKW(), "AD power in kW")
 		extra := fs.Float64("extra", 0, "additional watts (e.g. 31 for an idle server)")
 		day := fs.Float64("day", 10, "operating hours per day")
-		_ = fs.Parse(os.Args[2:])
+		_ = fs.Parse(args[1:])
 		em := models.DefaultEnergyModel()
 		total := *pad + *extra/1000
 		fmt.Printf("driving time at PAD=%.3f kW: %.2f h (reduced by %.2f h)\n",
@@ -63,7 +68,7 @@ func main() {
 		fs := flag.NewFlagSet("thermal", flag.ExitOnError)
 		load := fs.Float64("load", models.DefaultPowerBudget().TotalW(), "compute load in watts")
 		ambient := fs.Float64("ambient", 40, "ambient temperature in C")
-		_ = fs.Parse(os.Args[2:])
+		_ = fs.Parse(args[1:])
 		th := models.DefaultThermalModel()
 		fmt.Printf("steady temperature at %.0f W, %.0f C ambient: %.1f C (ceiling %.0f C)\n",
 			*load, *ambient, th.SteadyTempC(*load, *ambient), th.MaxComponentTempC)

@@ -4,16 +4,18 @@
 // Usage:
 //
 //	sovsim [-duration 120s] [-seed 1] [-no-fpga] [-no-sync] [-no-reactive]
-//	       [-no-radar-tracking] [-em-planner]
+//	       [-no-radar-tracking] [-em-planner] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sov/internal/core"
+	"sov/internal/parallel"
 	"sov/internal/vehicle"
 )
 
@@ -27,7 +29,9 @@ func main() {
 	emPlanner := flag.Bool("em-planner", false, "use the EM-style DP+QP planner instead of MPC")
 	shuttle := flag.Bool("shuttle", false, "run the 8-seater shuttle instead of the 2-seater pod")
 	tracePath := flag.String("trace", "", "write a JSONL per-cycle trace to this path")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed

@@ -10,6 +10,7 @@ import (
 	"sov/internal/fusion"
 	"sov/internal/mathx"
 	"sov/internal/models"
+	"sov/internal/parallel"
 	"sov/internal/planning"
 	"sov/internal/rpr"
 	"sov/internal/sensors"
@@ -206,20 +207,57 @@ func (s *SoV) controlCycle() {
 	}
 	s.report.observe(d)
 
-	// Perception content from the capture-time world view. The tracker
-	// consumes the rig's returns converted to vehicle-frame polar.
-	dets := s.det.Detect(t0, pose)
-	var returns []sensors.RadarReturn
-	for _, rr := range s.radarRig.ScanAll(t0, pose) {
-		returns = append(returns, sensors.RadarReturn{
-			ObstacleID: rr.ObstacleID,
-			Range:      rr.VehiclePos.Norm(),
-			Bearing:    rr.VehicleBearing,
-			RadialVel:  rr.RadialVel,
-			Time:       rr.Time,
-		})
+	// Pose-estimate noise is drawn before the branch dispatch so the
+	// coordinator's RNG stream keeps its serial order (dropout Bernoulli,
+	// then pose noise) regardless of worker count.
+	locStd := s.cfg.LocalizationErrorStd
+	if !s.cfg.HardwareSync {
+		locStd *= s.cfg.SyncErrorFactor
 	}
-	tracks := s.tracker.Observe(t0, returns)
+	var noiseX, noiseY, noiseH float64
+	if locStd > 0 {
+		noiseX = s.rng.Normal(0, locStd)
+		noiseY = s.rng.Normal(0, locStd)
+		noiseH = s.rng.Normal(0, locStd/2)
+	}
+
+	// The three perception branches — camera detection, radar scan +
+	// trajectory tracking, and localization (estimated-pose composition) —
+	// run concurrently, mirroring the per-sensor pipelines of the SoV's
+	// computing stack. They are independent by construction: the detector
+	// and radar rig own forked RNG streams, the tracker is deterministic in
+	// its inputs, and the world is read-only during a cycle, so every
+	// branch output is byte-identical to a serial run.
+	var dets []detect.Object
+	var tracks []track.RadarTrack
+	var estPose world.Pose
+	parallel.Do(
+		func() { dets = s.det.Detect(t0, pose) },
+		func() {
+			var returns []sensors.RadarReturn
+			for _, rr := range s.radarRig.ScanAll(t0, pose) {
+				returns = append(returns, sensors.RadarReturn{
+					ObstacleID: rr.ObstacleID,
+					Range:      rr.VehiclePos.Norm(),
+					Bearing:    rr.VehicleBearing,
+					RadialVel:  rr.RadialVel,
+					Time:       rr.Time,
+				})
+			}
+			tracks = s.tracker.Observe(t0, returns)
+		},
+		func() {
+			// The planner consumes the *estimated* pose. With the hardware
+			// synchronizer and map-mode VIO the error is a few centimeters;
+			// without synchronization it inflates per the Fig. 11 studies,
+			// and the lane-keeping loop feels it.
+			estPose = pose
+			if locStd > 0 {
+				estPose.Pos = estPose.Pos.Add(mathx.Vec2{X: noiseX, Y: noiseY})
+				estPose.Heading = mathx.WrapAngle(estPose.Heading + noiseH)
+			}
+		},
+	)
 	var fused []fusion.FusedObject
 	if s.cfg.RadarTracking {
 		matches, ud, _ := fusion.SpatialSync(fusion.DefaultSpatialSyncConfig(), dets, tracks)
@@ -228,23 +266,6 @@ func (s *SoV) controlCycle() {
 		for _, dt := range dets {
 			fused = append(fused, fusion.FusedObject{Object: dt, Velocity: dt.Vel})
 		}
-	}
-
-	// The planner consumes the *estimated* pose. With the hardware
-	// synchronizer and map-mode VIO the error is a few centimeters;
-	// without synchronization it inflates per the Fig. 11 studies, and
-	// the lane-keeping loop feels it.
-	estPose := pose
-	locStd := s.cfg.LocalizationErrorStd
-	if !s.cfg.HardwareSync {
-		locStd *= s.cfg.SyncErrorFactor
-	}
-	if locStd > 0 {
-		estPose.Pos = estPose.Pos.Add(mathx.Vec2{
-			X: s.rng.Normal(0, locStd),
-			Y: s.rng.Normal(0, locStd),
-		})
-		estPose.Heading = mathx.WrapAngle(estPose.Heading + s.rng.Normal(0, locStd/2))
 	}
 
 	in := s.planningInput(estPose, st, fused)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"sov/internal/nn"
+	"sov/internal/parallel"
 )
 
 // BBox is an axis-aligned detection box in normalized image coordinates.
@@ -66,14 +67,16 @@ func minf(a, b float32) float32 {
 	return b
 }
 
+// decodeGrain is the fixed cell-scoring tile size; it depends only on the
+// cell count, so tile-ordered output is identical for any worker count.
+const decodeGrain = 256
+
 // DecodeGrid converts raw YOLO-grid cells into boxes above the objectness
-// threshold, with score = objectness × best class score.
+// threshold, with score = objectness × best class score. Cells score
+// independently; tiles fill ordered buckets that concatenate back into the
+// serial scan order.
 func DecodeGrid(cells []nn.GridBox, objThreshold float32) []BBox {
-	out := make([]BBox, 0, 16)
-	for _, c := range cells {
-		if c.Objectness < objThreshold {
-			continue
-		}
+	decode := func(c nn.GridBox) BBox {
 		bestC, bestS := 0, float32(0)
 		for i, s := range c.ClassScores {
 			if s > bestS {
@@ -81,14 +84,39 @@ func DecodeGrid(cells []nn.GridBox, objThreshold float32) []BBox {
 				bestC = i
 			}
 		}
-		out = append(out, BBox{
+		return BBox{
 			X0:    clamp01(c.CX - c.W/2),
 			Y0:    clamp01(c.CY - c.H/2),
 			X1:    clamp01(c.CX + c.W/2),
 			Y1:    clamp01(c.CY + c.H/2),
 			Score: c.Objectness * bestS,
 			Class: bestC,
-		})
+		}
+	}
+	if parallel.Workers() <= 1 || len(cells) < 2*decodeGrain {
+		out := make([]BBox, 0, 16)
+		for _, c := range cells {
+			if c.Objectness < objThreshold {
+				continue
+			}
+			out = append(out, decode(c))
+		}
+		return out
+	}
+	buckets := make([][]BBox, parallel.Tiles(len(cells), decodeGrain))
+	parallel.ForTiled(len(cells), decodeGrain, func(tile, i0, i1 int) {
+		var out []BBox
+		for _, c := range cells[i0:i1] {
+			if c.Objectness < objThreshold {
+				continue
+			}
+			out = append(out, decode(c))
+		}
+		buckets[tile] = out
+	})
+	out := make([]BBox, 0, 16)
+	for _, b := range buckets {
+		out = append(out, b...)
 	}
 	return out
 }

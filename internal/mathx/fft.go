@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"sov/internal/parallel"
 )
 
 // FFT computes the in-place radix-2 Cooley–Tukey FFT of x. len(x) must be a
@@ -51,29 +53,46 @@ func FFT(x []complex128, inverse bool) error {
 
 // FFT2D computes the 2-D FFT of a rows×cols image stored row-major in x,
 // in place. Both dimensions must be powers of two.
+//
+// Row and column transforms are independent, so they run tiled on the
+// worker pool; each 1-D FFT is the same serial instruction stream for any
+// worker count, keeping the result byte-identical.
 func FFT2D(x []complex128, rows, cols int, inverse bool) error {
 	if rows*cols != len(x) {
 		return fmt.Errorf("mathx: FFT2D shape %dx%d != len %d", rows, cols, len(x))
 	}
+	if len(x) == 0 {
+		return nil
+	}
+	if rows&(rows-1) != 0 {
+		return fmt.Errorf("mathx: FFT length %d is not a power of two", rows)
+	}
+	if cols&(cols-1) != 0 {
+		return fmt.Errorf("mathx: FFT length %d is not a power of two", cols)
+	}
+	// Keep small transforms serial: a tile should carry a few thousand
+	// elements before the fan-out is worth it.
+	grain := 1 + 4096/cols
 	// Rows.
-	for r := 0; r < rows; r++ {
-		if err := FFT(x[r*cols:(r+1)*cols], inverse); err != nil {
-			return err
+	parallel.For(rows, grain, func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			_ = FFT(x[r*cols:(r+1)*cols], inverse) // length pre-validated
 		}
-	}
-	// Columns (gather/scatter through a scratch buffer).
-	col := make([]complex128, rows)
-	for c := 0; c < cols; c++ {
-		for r := 0; r < rows; r++ {
-			col[r] = x[r*cols+c]
+	})
+	// Columns (gather/scatter through a per-tile scratch buffer).
+	parallel.For(cols, 1+4096/rows, func(c0, c1 int) {
+		col := parallel.GetC128(rows)
+		for c := c0; c < c1; c++ {
+			for r := 0; r < rows; r++ {
+				col[r] = x[r*cols+c]
+			}
+			_ = FFT(col, inverse)
+			for r := 0; r < rows; r++ {
+				x[r*cols+c] = col[r]
+			}
 		}
-		if err := FFT(col, inverse); err != nil {
-			return err
-		}
-		for r := 0; r < rows; r++ {
-			x[r*cols+c] = col[r]
-		}
-	}
+		parallel.PutC128(col)
+	})
 	return nil
 }
 

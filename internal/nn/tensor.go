@@ -3,15 +3,19 @@
 // models are trained on proprietary field data; we run untrained (but
 // deterministic) weights through the same computational structure so that
 // the compute shape of DNN detection is real, while detection *accuracy* is
-// modeled separately (internal/detect). Inference is single-threaded
-// CPU code: the platform package maps its cost onto GPU/TX2/FPGA operating
-// points.
+// modeled separately (internal/detect). Inference runs on the CPU with
+// conv/pool/FC layers tiled over the internal/parallel worker pool (each
+// output element keeps its serial accumulation order, so results are
+// byte-identical for any worker count); the platform package maps its cost
+// onto GPU/TX2/FPGA operating points.
 package nn
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"sov/internal/parallel"
 )
 
 // Tensor is a CHW float32 tensor.
@@ -96,39 +100,49 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	}
 	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
 	out := NewTensor(oc, oh, ow)
-	for o := 0; o < oc; o++ {
-		wBase := o * c.InC * c.K * c.K
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				sum := c.Bias[o]
-				iy0 := oy*c.Stride - c.Pad
-				ix0 := ox*c.Stride - c.Pad
-				for ic := 0; ic < c.InC; ic++ {
-					wc := wBase + ic*c.K*c.K
-					for ky := 0; ky < c.K; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= in.H {
+	// Output channels are independent; fan them out across the pool. Each
+	// output element keeps its serial accumulation order, so the tensor is
+	// byte-identical for any worker count.
+	parallel.For(oc, 1, func(o0, o1 int) {
+		for o := o0; o < o1; o++ {
+			c.forwardChannel(in, out, o, oh, ow)
+		}
+	})
+	return out
+}
+
+// forwardChannel computes one output channel of the convolution.
+func (c *Conv2D) forwardChannel(in, out *Tensor, o, oh, ow int) {
+	wBase := o * c.InC * c.K * c.K
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			sum := c.Bias[o]
+			iy0 := oy*c.Stride - c.Pad
+			ix0 := ox*c.Stride - c.Pad
+			for ic := 0; ic < c.InC; ic++ {
+				wc := wBase + ic*c.K*c.K
+				for ky := 0; ky < c.K; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= in.H {
+						continue
+					}
+					rowBase := (ic*in.H + iy) * in.W
+					wRow := wc + ky*c.K
+					for kx := 0; kx < c.K; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= in.W {
 							continue
 						}
-						rowBase := (ic*in.H + iy) * in.W
-						wRow := wc + ky*c.K
-						for kx := 0; kx < c.K; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= in.W {
-								continue
-							}
-							sum += c.Weights[wRow+kx] * in.Data[rowBase+ix]
-						}
+						sum += c.Weights[wRow+kx] * in.Data[rowBase+ix]
 					}
 				}
-				if c.ReLU && sum < 0 {
-					sum = 0
-				}
-				out.Set(o, oy, ox, sum)
 			}
+			if c.ReLU && sum < 0 {
+				sum = 0
+			}
+			out.Set(o, oy, ox, sum)
 		}
 	}
-	return out
 }
 
 // MaxPool2 is a 2×2 stride-2 max pool.
@@ -146,24 +160,31 @@ func (MaxPool2) FLOPs(c, h, w int) int64 { return int64(c) * int64(h/2) * int64(
 // Forward implements Layer.
 func (MaxPool2) Forward(in *Tensor) *Tensor {
 	out := NewTensor(in.C, in.H/2, in.W/2)
-	for c := 0; c < in.C; c++ {
-		for y := 0; y < out.H; y++ {
-			for x := 0; x < out.W; x++ {
-				m := in.At(c, 2*y, 2*x)
-				if v := in.At(c, 2*y, 2*x+1); v > m {
-					m = v
-				}
-				if v := in.At(c, 2*y+1, 2*x); v > m {
-					m = v
-				}
-				if v := in.At(c, 2*y+1, 2*x+1); v > m {
-					m = v
-				}
-				out.Set(c, y, x, m)
+	parallel.For(in.C, 1, func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			poolChannel(in, out, c)
+		}
+	})
+	return out
+}
+
+// poolChannel max-pools one channel.
+func poolChannel(in, out *Tensor, c int) {
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			m := in.At(c, 2*y, 2*x)
+			if v := in.At(c, 2*y, 2*x+1); v > m {
+				m = v
 			}
+			if v := in.At(c, 2*y+1, 2*x); v > m {
+				m = v
+			}
+			if v := in.At(c, 2*y+1, 2*x+1); v > m {
+				m = v
+			}
+			out.Set(c, y, x, m)
 		}
 	}
-	return out
 }
 
 // Network is an ordered stack of layers.

@@ -3,6 +3,7 @@ package nn
 import (
 	"math/rand"
 
+	"sov/internal/parallel"
 	"sov/internal/vision"
 )
 
@@ -59,27 +60,31 @@ func FromImage(im *vision.Image) *Tensor {
 	return t
 }
 
-// Infer runs the full forward pass and decodes the grid.
+// Infer runs the full forward pass and decodes the grid. Grid cells decode
+// independently into fixed slots, so the decode fans out row-parallel with
+// the same row-major output order as a serial scan.
 func (y *YOLOHead) Infer(in *Tensor) []GridBox {
 	feat := y.Backbone.Forward(in)
 	raw := y.Head.Forward(feat)
-	out := make([]GridBox, 0, raw.H*raw.W)
-	for gy := 0; gy < raw.H; gy++ {
-		for gx := 0; gx < raw.W; gx++ {
-			b := GridBox{
-				Objectness:  Sigmoid(raw.At(0, gy, gx)),
-				CX:          (float32(gx) + Sigmoid(raw.At(1, gy, gx))) / float32(raw.W),
-				CY:          (float32(gy) + Sigmoid(raw.At(2, gy, gx))) / float32(raw.H),
-				W:           Sigmoid(raw.At(3, gy, gx)),
-				H:           Sigmoid(raw.At(4, gy, gx)),
-				ClassScores: make([]float32, y.Classes),
+	out := make([]GridBox, raw.H*raw.W)
+	parallel.ForRows(raw.H, func(g0, g1 int) {
+		for gy := g0; gy < g1; gy++ {
+			for gx := 0; gx < raw.W; gx++ {
+				b := GridBox{
+					Objectness:  Sigmoid(raw.At(0, gy, gx)),
+					CX:          (float32(gx) + Sigmoid(raw.At(1, gy, gx))) / float32(raw.W),
+					CY:          (float32(gy) + Sigmoid(raw.At(2, gy, gx))) / float32(raw.H),
+					W:           Sigmoid(raw.At(3, gy, gx)),
+					H:           Sigmoid(raw.At(4, gy, gx)),
+					ClassScores: make([]float32, y.Classes),
+				}
+				for c := 0; c < y.Classes; c++ {
+					b.ClassScores[c] = Sigmoid(raw.At(5+c, gy, gx))
+				}
+				out[gy*raw.W+gx] = b
 			}
-			for c := 0; c < y.Classes; c++ {
-				b.ClassScores[c] = Sigmoid(raw.At(5+c, gy, gx))
-			}
-			out = append(out, b)
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-buffer pools. Hot kernels (SGM scanline aggregation, stereo cost
+// vectors, FFT column gathers, KCF spectra, ICP reuse counters) borrow
+// per-tile scratch here instead of allocating per call. Buffers are
+// size-classed by power of two; Get returns a slice of the requested
+// length whose contents are unspecified — callers must overwrite before
+// reading (or use the Zeroed variants).
+
+const poolClasses = 31
+
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+type f64Pools struct{ classes [poolClasses]sync.Pool }
+
+var f64pool f64Pools
+
+// GetF64 returns a float64 scratch slice of length n (contents unspecified).
+func GetF64(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if v := f64pool.classes[c].Get(); v != nil {
+		return (*(v.(*[]float64)))[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutF64 returns a slice obtained from GetF64 to its pool.
+func PutF64(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) {
+		c-- // cap is not a power of two: file under the floor class
+	}
+	full := s[:cap(s)]
+	f64pool.classes[c].Put(&full)
+}
+
+type f32Pools struct{ classes [poolClasses]sync.Pool }
+
+var f32pool f32Pools
+
+// GetF32 returns a float32 scratch slice of length n (contents unspecified).
+func GetF32(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if v := f32pool.classes[c].Get(); v != nil {
+		return (*(v.(*[]float32)))[:n]
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// PutF32 returns a slice obtained from GetF32 to its pool.
+func PutF32(s []float32) {
+	if cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) {
+		c--
+	}
+	full := s[:cap(s)]
+	f32pool.classes[c].Put(&full)
+}
+
+type c128Pools struct{ classes [poolClasses]sync.Pool }
+
+var c128pool c128Pools
+
+// GetC128 returns a complex128 scratch slice of length n (contents
+// unspecified).
+func GetC128(n int) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if v := c128pool.classes[c].Get(); v != nil {
+		return (*(v.(*[]complex128)))[:n]
+	}
+	return make([]complex128, n, 1<<c)
+}
+
+// PutC128 returns a slice obtained from GetC128 to its pool.
+func PutC128(s []complex128) {
+	if cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) {
+		c--
+	}
+	full := s[:cap(s)]
+	c128pool.classes[c].Put(&full)
+}
+
+type intPools struct{ classes [poolClasses]sync.Pool }
+
+var intpool intPools
+
+// GetIntsZeroed returns an int scratch slice of length n with every element
+// zero — the per-tile counter accumulators (e.g. kd-tree reuse counts).
+func GetIntsZeroed(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if v := intpool.classes[c].Get(); v != nil {
+		s := (*(v.(*[]int)))[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]int, n, 1<<c)
+}
+
+// PutInts returns a slice obtained from GetIntsZeroed to its pool.
+func PutInts(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) {
+		c--
+	}
+	full := s[:cap(s)]
+	intpool.classes[c].Put(&full)
+}

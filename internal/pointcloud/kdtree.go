@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"sov/internal/mathx"
+	"sov/internal/parallel"
 	"sov/internal/sim"
 )
 
@@ -65,38 +66,69 @@ type KDTree struct {
 }
 
 // Build constructs a balanced kd-tree over the cloud. The tracker (may be
-// nil) observes both construction and query accesses.
+// nil) observes query accesses.
+//
+// Nodes are laid out in preorder: the subtree over m points occupies m
+// contiguous slots, with the left child block immediately after the node
+// and the right block after it. The layout is a pure function of the
+// input, so large sibling subtrees build concurrently into disjoint slot
+// ranges and the tree is byte-identical for any worker count (and to the
+// previous serial append-order builder).
 func Build(c *Cloud, tr Tracker) *KDTree {
 	t := &KDTree{cloud: c, tr: tr, Reuse: make([]int, len(c.Pts))}
 	idxs := make([]int, len(c.Pts))
 	for i := range idxs {
 		idxs[i] = i
 	}
-	t.nodes = make([]kdNode, 0, len(c.Pts))
-	t.root = t.build(idxs, 0)
+	t.nodes = make([]kdNode, len(c.Pts))
+	if len(idxs) == 0 {
+		t.root = -1
+		return t
+	}
+	t.root = 0
+	t.buildAt(idxs, 0, 0)
 	return t
 }
 
-func (t *KDTree) build(idxs []int, depth int) int32 {
+// kdParallelMin is the subtree size below which sibling builds stay serial
+// (the fan-out overhead would exceed the sort work).
+const kdParallelMin = 1024
+
+// buildAt builds the subtree over idxs into slots [at, at+len(idxs)).
+// Sibling calls sort disjoint sub-slices of the shared index array and
+// write disjoint node ranges, so they are safe to run concurrently.
+func (t *KDTree) buildAt(idxs []int, depth int, at int32) {
 	if len(idxs) == 0 {
-		return -1
+		return
 	}
 	axis := depth % 3
 	sort.Slice(idxs, func(i, j int) bool {
 		return coord(t.cloud.Pts[idxs[i]], axis) < coord(t.cloud.Pts[idxs[j]], axis)
 	})
 	mid := len(idxs) / 2
-	nodeIdx := int32(len(t.nodes))
-	t.nodes = append(t.nodes, kdNode{
+	left, right := int32(-1), int32(-1)
+	if mid > 0 {
+		left = at + 1
+	}
+	if mid+1 < len(idxs) {
+		right = at + 1 + int32(mid)
+	}
+	t.nodes[at] = kdNode{
 		axis:  axis,
 		split: coord(t.cloud.Pts[idxs[mid]], axis),
 		idx:   idxs[mid],
-	})
-	left := t.build(append([]int(nil), idxs[:mid]...), depth+1)
-	right := t.build(append([]int(nil), idxs[mid+1:]...), depth+1)
-	t.nodes[nodeIdx].left = left
-	t.nodes[nodeIdx].right = right
-	return nodeIdx
+		left:  left,
+		right: right,
+	}
+	if len(idxs) >= kdParallelMin {
+		parallel.Do(
+			func() { t.buildAt(idxs[:mid], depth+1, at+1) },
+			func() { t.buildAt(idxs[mid+1:], depth+1, at+1+int32(mid)) },
+		)
+		return
+	}
+	t.buildAt(idxs[:mid], depth+1, at+1)
+	t.buildAt(idxs[mid+1:], depth+1, at+1+int32(mid))
 }
 
 func coord(p mathx.Vec3, axis int) float64 {
@@ -110,28 +142,39 @@ func coord(p mathx.Vec3, axis int) float64 {
 	}
 }
 
-func (t *KDTree) visit(n int32) *kdNode {
+// visitInto records a node visit, crediting the reuse counter slice the
+// caller owns — t.Reuse on the serial path, a per-worker scratch on
+// parallel query paths (merged afterwards; integer adds are exact in any
+// order).
+func (t *KDTree) visitInto(n int32, reuse []int) *kdNode {
 	node := &t.nodes[n]
 	if t.tr != nil {
 		t.tr.Access(t.cloud.Region+nodeRegion+int64(n)*nodeBytes, nodeBytes)
 	}
 	t.cloud.access(t.tr, node.idx)
-	t.Reuse[node.idx]++
+	reuse[node.idx]++
 	return node
 }
 
+func (t *KDTree) visit(n int32) *kdNode { return t.visitInto(n, t.Reuse) }
+
 // Nearest returns the index and squared distance of the closest point.
 func (t *KDTree) Nearest(q mathx.Vec3) (int, float64) {
+	return t.nearestInto(q, t.Reuse)
+}
+
+// nearestInto is Nearest crediting visits to the given reuse slice.
+func (t *KDTree) nearestInto(q mathx.Vec3, reuse []int) (int, float64) {
 	bestIdx, bestD2 := -1, math.Inf(1)
-	t.nearest(t.root, q, &bestIdx, &bestD2)
+	t.nearest(t.root, q, &bestIdx, &bestD2, reuse)
 	return bestIdx, bestD2
 }
 
-func (t *KDTree) nearest(n int32, q mathx.Vec3, bestIdx *int, bestD2 *float64) {
+func (t *KDTree) nearest(n int32, q mathx.Vec3, bestIdx *int, bestD2 *float64, reuse []int) {
 	if n < 0 {
 		return
 	}
-	node := t.visit(n)
+	node := t.visitInto(n, reuse)
 	p := t.cloud.Pts[node.idx]
 	d2 := p.Sub(q).Dot(p.Sub(q))
 	if d2 < *bestD2 {
@@ -143,9 +186,9 @@ func (t *KDTree) nearest(n int32, q mathx.Vec3, bestIdx *int, bestD2 *float64) {
 	if diff > 0 {
 		near, far = far, near
 	}
-	t.nearest(near, q, bestIdx, bestD2)
+	t.nearest(near, q, bestIdx, bestD2, reuse)
 	if diff*diff < *bestD2 {
-		t.nearest(far, q, bestIdx, bestD2)
+		t.nearest(far, q, bestIdx, bestD2, reuse)
 	}
 }
 
@@ -178,6 +221,11 @@ func (t *KDTree) radius(n int32, q mathx.Vec3, r2 float64, out *[]int) {
 
 // KNN returns the k nearest point indices (unsorted beyond the heap order).
 func (t *KDTree) KNN(q mathx.Vec3, k int) []int {
+	return t.knnInto(q, k, t.Reuse)
+}
+
+// knnInto is KNN crediting visits to the given reuse slice.
+func (t *KDTree) knnInto(q mathx.Vec3, k int, reuse []int) []int {
 	if k <= 0 {
 		return nil
 	}
@@ -229,7 +277,7 @@ func (t *KDTree) KNN(q mathx.Vec3, k int) []int {
 		if n < 0 {
 			return
 		}
-		node := t.visit(n)
+		node := t.visitInto(n, reuse)
 		p := t.cloud.Pts[node.idx]
 		d := p.Sub(q)
 		push(cand{d2: d.Dot(d), idx: node.idx})

@@ -2,9 +2,84 @@ package pointcloud
 
 import (
 	"math"
+	"sync"
 
 	"sov/internal/mathx"
+	"sov/internal/parallel"
 )
+
+// icpMatch is one accepted correspondence of an ICP iteration: the
+// transformed source point, the matched target point index, and the
+// squared match distance. Both ICP variants replay their floating-point
+// reductions serially over the ordered match list, so the estimate is
+// bit-identical to a fully serial scan.
+type icpMatch struct {
+	q  mathx.Vec3
+	j  int
+	d2 float64
+}
+
+// icpParallelMin is the candidate count below which the correspondence
+// search stays serial (fan-out overhead would dominate).
+const icpParallelMin = 512
+
+// icpGrain is the fixed correspondence-search tile size; it depends only
+// on the input, never the worker count, so tile-ordered outputs are
+// byte-identical for any parallelism.
+const icpGrain = 256
+
+// collectMatches gathers the accepted correspondences of one ICP iteration
+// in source-point order. With no tracker attached the nearest-neighbor
+// searches fan out across the worker pool: each tile owns a scratch reuse
+// counter (merged afterwards — integer adds are exact in any order) and a
+// tile-ordered bucket, so the returned slice matches the serial scan
+// exactly. With a tracker the walk stays serial, preserving the cache
+// simulator's access order.
+func collectMatches(tree *KDTree, src *Cloud, tr Tracker, subsample int, yaw float64, trans mathx.Vec3) []icpMatch {
+	s, c := math.Sin(yaw), math.Cos(yaw)
+	match := func(i int, reuse []int, out []icpMatch) []icpMatch {
+		src.access(tr, i)
+		p := src.Pts[i]
+		// Current transform estimate applied to the source point.
+		q := mathx.Vec3{X: c*p.X - s*p.Y + trans.X, Y: s*p.X + c*p.Y + trans.Y, Z: p.Z + trans.Z}
+		j, d2 := tree.nearestInto(q, reuse)
+		if j < 0 || d2 > 4.0 {
+			return out
+		}
+		return append(out, icpMatch{q: q, j: j, d2: d2})
+	}
+	m := (src.Len() + subsample - 1) / subsample // candidate count
+	if tr != nil || parallel.Workers() <= 1 || m < icpParallelMin {
+		matches := make([]icpMatch, 0, m)
+		for i := 0; i < src.Len(); i += subsample {
+			matches = match(i, tree.Reuse, matches)
+		}
+		return matches
+	}
+	buckets := make([][]icpMatch, parallel.Tiles(m, icpGrain))
+	var mu sync.Mutex
+	parallel.ForTiled(m, icpGrain, func(tile, k0, k1 int) {
+		reuse := parallel.GetIntsZeroed(tree.cloud.Len())
+		out := make([]icpMatch, 0, k1-k0)
+		for k := k0; k < k1; k++ {
+			out = match(k*subsample, reuse, out)
+		}
+		buckets[tile] = out
+		mu.Lock()
+		for i, r := range reuse {
+			if r != 0 {
+				tree.Reuse[i] += r
+			}
+		}
+		mu.Unlock()
+		parallel.PutInts(reuse)
+	})
+	var matches []icpMatch
+	for _, b := range buckets {
+		matches = append(matches, b...)
+	}
+	return matches
+}
 
 // ICPResult is the estimated rigid transform (yaw + translation) aligning
 // the source cloud onto the target, plus convergence diagnostics.
@@ -26,36 +101,25 @@ func Localize(tree *KDTree, src *Cloud, tr Tracker, iters, subsample int) ICPRes
 	yaw, trans := 0.0, mathx.Vec3{}
 	res := ICPResult{}
 	for it := 0; it < iters; it++ {
-		s, c := math.Sin(yaw), math.Cos(yaw)
-		// Accumulate correspondences.
-		var srcCx, srcCy, dstCx, dstCy float64
-		var sxx, sxy, syx, syy float64
-		var zSum float64
-		type pair struct{ sx, sy, dx, dy, dz float64 }
-		pairs := make([]pair, 0, src.Len()/subsample+1)
-		var sse float64
-		for i := 0; i < src.Len(); i += subsample {
-			src.access(tr, i)
-			p := src.Pts[i]
-			// Current transform estimate applied to the source point.
-			q := mathx.Vec3{X: c*p.X - s*p.Y + trans.X, Y: s*p.X + c*p.Y + trans.Y, Z: p.Z + trans.Z}
-			j, d2 := tree.Nearest(q)
-			if j < 0 || d2 > 4.0 {
-				continue
-			}
-			d := tree.cloud.Pts[j]
-			pairs = append(pairs, pair{sx: q.X, sy: q.Y, dx: d.X, dy: d.Y, dz: d.Z - q.Z})
-			sse += d2
-		}
+		// Correspondence search (parallel when untracked); all reductions
+		// below replay the ordered match list serially, keeping the same
+		// floating-point association as a single-threaded scan.
+		pairs := collectMatches(tree, src, tr, subsample, yaw, trans)
 		if len(pairs) < 3 {
 			break
 		}
+		var srcCx, srcCy, dstCx, dstCy float64
+		var sxx, sxy, syx, syy float64
+		var zSum float64
+		var sse float64
 		for _, pr := range pairs {
-			srcCx += pr.sx
-			srcCy += pr.sy
-			dstCx += pr.dx
-			dstCy += pr.dy
-			zSum += pr.dz
+			d := tree.cloud.Pts[pr.j]
+			sse += pr.d2
+			srcCx += pr.q.X
+			srcCy += pr.q.Y
+			dstCx += d.X
+			dstCy += d.Y
+			zSum += d.Z - pr.q.Z
 		}
 		n := float64(len(pairs))
 		srcCx /= n
@@ -63,8 +127,9 @@ func Localize(tree *KDTree, src *Cloud, tr Tracker, iters, subsample int) ICPRes
 		dstCx /= n
 		dstCy /= n
 		for _, pr := range pairs {
-			ax, ay := pr.sx-srcCx, pr.sy-srcCy
-			bx, by := pr.dx-dstCx, pr.dy-dstCy
+			d := tree.cloud.Pts[pr.j]
+			ax, ay := pr.q.X-srcCx, pr.q.Y-srcCy
+			bx, by := d.X-dstCx, d.Y-dstCy
 			sxx += ax * bx
 			sxy += ax * by
 			syx += ay * bx
@@ -104,23 +169,22 @@ func LocalizePointToPlane(tree *KDTree, normals []Normal, src *Cloud, tr Tracker
 	yaw, trans := 0.0, mathx.Vec3{}
 	res := ICPResult{}
 	for it := 0; it < iters; it++ {
-		s, c := math.Sin(yaw), math.Cos(yaw)
+		// Correspondence search (parallel when untracked); the normal-equation
+		// accumulation replays the ordered match list serially.
+		pairs := collectMatches(tree, src, tr, subsample, yaw, trans)
+		if len(pairs) < 6 {
+			break
+		}
 		// Linearized system over (dyaw, tx, ty): for each correspondence,
 		// n·(R p + t - q) ≈ 0 with R ≈ I + dyaw×.
 		var a [3][3]float64
 		var bvec [3]float64
 		var sse float64
-		n := 0
-		for i := 0; i < src.Len(); i += subsample {
-			src.access(tr, i)
-			p := src.Pts[i]
-			qp := mathx.Vec3{X: c*p.X - s*p.Y + trans.X, Y: s*p.X + c*p.Y + trans.Y, Z: p.Z + trans.Z}
-			j, d2 := tree.Nearest(qp)
-			if j < 0 || d2 > 4.0 {
-				continue
-			}
-			q := tree.cloud.Pts[j]
-			nv := normals[j]
+		n := len(pairs)
+		for _, pr := range pairs {
+			qp := pr.q
+			q := tree.cloud.Pts[pr.j]
+			nv := normals[pr.j]
 			// Planar (yaw-only) rotation derivative: d(Rp)/dyaw = (-py', px', 0).
 			jyaw := -qp.Y*nv.X + qp.X*nv.Y
 			row := [3]float64{jyaw, nv.X, nv.Y}
@@ -132,10 +196,6 @@ func LocalizePointToPlane(tree *KDTree, normals []Normal, src *Cloud, tr Tracker
 				bvec[ri] -= row[ri] * r
 			}
 			sse += r * r
-			n++
-		}
-		if n < 6 {
-			break
 		}
 		am := mathx.MatFromRows([][]float64{
 			{a[0][0] + 1e-9, a[0][1], a[0][2]},
@@ -285,12 +345,16 @@ type Normal = mathx.Vec3
 
 // EstimateNormals fits a plane to each point's k-neighborhood (PCA smallest
 // eigenvector via plane least-squares) — the core of surface reconstruction.
+// Points are independent, so untracked runs fan the kNN searches out across
+// the worker pool (per-tile reuse scratch, merged afterwards); each point's
+// accumulation is self-contained, so the normals are byte-identical for any
+// worker count.
 func EstimateNormals(tree *KDTree, cloud *Cloud, tr Tracker, k int) []Normal {
 	n := cloud.Len()
 	out := make([]Normal, n)
-	for i := 0; i < n; i++ {
+	one := func(i int, reuse []int) {
 		cloud.access(tr, i)
-		nbrs := tree.KNN(cloud.Pts[i], k)
+		nbrs := tree.knnInto(cloud.Pts[i], k, reuse)
 		var centroid mathx.Vec3
 		for _, j := range nbrs {
 			cloud.access(tr, j)
@@ -310,6 +374,27 @@ func EstimateNormals(tree *KDTree, cloud *Cloud, tr Tracker, k int) []Normal {
 		}
 		out[i] = smallestEigenvector(xx, xy, xz, yy, yz, zz)
 	}
+	if tr != nil || parallel.Workers() <= 1 || n < icpParallelMin {
+		for i := 0; i < n; i++ {
+			one(i, tree.Reuse)
+		}
+		return out
+	}
+	var mu sync.Mutex
+	parallel.For(n, icpGrain, func(i0, i1 int) {
+		reuse := parallel.GetIntsZeroed(tree.cloud.Len())
+		for i := i0; i < i1; i++ {
+			one(i, reuse)
+		}
+		mu.Lock()
+		for i, r := range reuse {
+			if r != 0 {
+				tree.Reuse[i] += r
+			}
+		}
+		mu.Unlock()
+		parallel.PutInts(reuse)
+	})
 	return out
 }
 

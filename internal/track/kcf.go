@@ -10,8 +10,13 @@ import (
 	"math"
 
 	"sov/internal/mathx"
+	"sov/internal/parallel"
 	"sov/internal/vision"
 )
+
+// kcfGrain is the elementwise tile size for the filter's frequency-domain
+// loops; fixed so tiling never depends on the worker count.
+const kcfGrain = 4096
 
 // KCF is a single-scale kernelized correlation filter with raw-pixel
 // features, a cosine (Hann) window, Gaussian target labels, and Gaussian
@@ -71,49 +76,64 @@ func NewKCF(size int) *KCF {
 	return k
 }
 
-// extract pulls the windowed, zero-mean patch centered at (cx, cy).
+// extract pulls the windowed, zero-mean patch centered at (cx, cy) into a
+// pooled buffer the caller must release with parallel.PutC128. Sampling
+// rows are independent and fan out; the mean is a serial ordered reduction,
+// so the patch is byte-identical for any worker count.
 func (k *KCF) extract(im *vision.Image, cx, cy float64) []complex128 {
 	n := k.Size
-	patch := make([]complex128, n*n)
+	patch := parallel.GetC128(n * n)
 	half := float64(n) / 2
-	var mean float64
-	vals := make([]float64, n*n)
-	for y := 0; y < n; y++ {
-		for x := 0; x < n; x++ {
-			v := float64(im.Bilinear(cx-half+float64(x), cy-half+float64(y)))
-			vals[y*n+x] = v
-			mean += v
+	vals := parallel.GetF64(n * n)
+	parallel.ForRows(n, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < n; x++ {
+				vals[y*n+x] = float64(im.Bilinear(cx-half+float64(x), cy-half+float64(y)))
+			}
 		}
+	})
+	var mean float64
+	for _, v := range vals {
+		mean += v
 	}
 	mean /= float64(n * n)
-	for i, v := range vals {
-		patch[i] = complex((v-mean)*k.window[i], 0)
-	}
+	parallel.For(n*n, kcfGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			patch[i] = complex((vals[i]-mean)*k.window[i], 0)
+		}
+	})
+	parallel.PutF64(vals)
 	return patch
 }
 
 // gaussianCorrelationF computes the Fourier transform of the Gaussian
-// kernel correlation between patches whose FFTs are xf and zf.
+// kernel correlation between patches whose FFTs are xf and zf. The result
+// is a pooled buffer the caller must release with parallel.PutC128.
 func (k *KCF) gaussianCorrelationF(xf, zf []complex128, xNorm, zNorm float64) []complex128 {
 	n := k.Size
-	prod := make([]complex128, n*n)
-	for i := range prod {
-		// conj(xf)*zf — cross-correlation in Fourier domain.
-		prod[i] = complex(real(xf[i]), -imag(xf[i])) * zf[i]
-	}
+	prod := parallel.GetC128(n * n)
+	parallel.For(n*n, kcfGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			// conj(xf)*zf — cross-correlation in Fourier domain.
+			prod[i] = complex(real(xf[i]), -imag(xf[i])) * zf[i]
+		}
+	})
 	if err := mathx.FFT2D(prod, n, n, true); err != nil {
 		panic(err)
 	}
-	out := make([]complex128, n*n)
+	out := parallel.GetC128(n * n)
 	norm := float64(n * n)
 	s2 := k.Sigma * k.Sigma
-	for i := range out {
-		d := (xNorm + zNorm - 2*real(prod[i])) / norm
-		if d < 0 {
-			d = 0
+	parallel.For(n*n, kcfGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			d := (xNorm + zNorm - 2*real(prod[i])) / norm
+			if d < 0 {
+				d = 0
+			}
+			out[i] = complex(math.Exp(-d/s2), 0)
 		}
-		out[i] = complex(math.Exp(-d/s2), 0)
-	}
+	})
+	parallel.PutC128(prod)
 	if err := mathx.FFT2D(out, n, n, false); err != nil {
 		panic(err)
 	}
@@ -128,17 +148,26 @@ func (k *KCF) Init(im *vision.Image, cx, cy float64) {
 	for _, v := range x {
 		k.xNorm += real(v) * real(v)
 	}
+	// xf and alphaF are retained as model state, so they come from make,
+	// not the scratch pools.
 	xf := make([]complex128, len(x))
 	copy(xf, x)
+	parallel.PutC128(x)
 	if err := mathx.FFT2D(xf, n, n, false); err != nil {
 		panic(err)
 	}
 	k.xf = xf
 	kf := k.gaussianCorrelationF(xf, xf, k.xNorm, k.xNorm)
-	k.alphaF = make([]complex128, len(kf))
-	for i := range kf {
-		k.alphaF[i] = k.yf[i] / (kf[i] + complex(k.Lambda, 0))
+	if k.alphaF == nil || len(k.alphaF) != len(kf) {
+		k.alphaF = make([]complex128, len(kf))
 	}
+	alphaF := k.alphaF
+	parallel.For(len(kf), kcfGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			alphaF[i] = k.yf[i] / (kf[i] + complex(k.Lambda, 0))
+		}
+	})
+	parallel.PutC128(kf)
 	k.cx, k.cy = cx, cy
 }
 
@@ -161,16 +190,22 @@ func (k *KCF) Update(im *vision.Image) Result {
 	for _, v := range z {
 		zNorm += real(v) * real(v)
 	}
-	zf := make([]complex128, len(z))
+	zf := parallel.GetC128(len(z))
 	copy(zf, z)
+	parallel.PutC128(z)
 	if err := mathx.FFT2D(zf, n, n, false); err != nil {
 		panic(err)
 	}
 	kzf := k.gaussianCorrelationF(k.xf, zf, k.xNorm, zNorm)
-	resp := make([]complex128, len(kzf))
-	for i := range resp {
-		resp[i] = kzf[i] * k.alphaF[i]
-	}
+	parallel.PutC128(zf)
+	resp := parallel.GetC128(len(kzf))
+	alphaF := k.alphaF
+	parallel.For(len(kzf), kcfGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			resp[i] = kzf[i] * alphaF[i]
+		}
+	})
+	parallel.PutC128(kzf)
 	if err := mathx.FFT2D(resp, n, n, true); err != nil {
 		panic(err)
 	}
@@ -195,6 +230,7 @@ func (k *KCF) Update(im *vision.Image) Result {
 	if den := at(bx, by-1) - 2*best + at(bx, by+1); den < -1e-12 {
 		dy += 0.5 * (at(bx, by-1) - at(bx, by+1)) / den
 	}
+	parallel.PutC128(resp)
 	if dx > float64(n)/2 {
 		dx -= float64(n)
 	}

@@ -1,5 +1,7 @@
 package vision
 
+import "sov/internal/parallel"
+
 // Semi-global matching: per-pixel absolute-difference costs aggregated along
 // four scanline directions with the classic P1/P2 smoothness penalties. It
 // fills weakly-textured regions better than window matching at ~the same
@@ -27,6 +29,13 @@ func DefaultSGMConfig() SGMConfig {
 
 // SGM computes a dense disparity map by semi-global cost aggregation over
 // the four horizontal/vertical directions.
+//
+// Parallel structure: the raw cost volume and the winner-take-all pass are
+// embarrassingly row-parallel; the aggregation runs the four directions in
+// sequence (agg accumulates them in a fixed order) but fans the scanlines
+// of each direction out across the worker pool — scanlines of one
+// direction touch disjoint pixels, and each scanline keeps its serial
+// recurrence, so the result is byte-identical for any worker count.
 func SGM(left, right *Image, cfg SGMConfig) *DisparityMap {
 	w, h := left.W, left.H
 	nd := cfg.MaxDisp + 1
@@ -34,105 +43,114 @@ func SGM(left, right *Image, cfg SGMConfig) *DisparityMap {
 	// substitute adequate for the synthetic texture).
 	cost := make([]float32, w*h*nd)
 	idx := func(x, y, d int) int { return (y*w+x)*nd + d }
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			for d := 0; d < nd; d++ {
-				if x-d < 0 {
-					cost[idx(x, y, d)] = 1 // out of view: high cost
-					continue
+	parallel.ForRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				for d := 0; d < nd; d++ {
+					if x-d < 0 {
+						cost[idx(x, y, d)] = 1 // out of view: high cost
+						continue
+					}
+					diff := left.At(x, y) - right.At(x-d, y)
+					if diff < 0 {
+						diff = -diff
+					}
+					cost[idx(x, y, d)] = diff
 				}
-				diff := left.At(x, y) - right.At(x-d, y)
-				if diff < 0 {
-					diff = -diff
-				}
-				cost[idx(x, y, d)] = diff
 			}
 		}
-	}
+	})
 	// Aggregate along 4 directions.
 	agg := make([]float32, w*h*nd)
 	dirs := [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
-	path := make([]float32, nd)
-	prev := make([]float32, nd)
 	for _, dir := range dirs {
 		dx, dy := dir[0], dir[1]
-		// Iterate scanlines in the direction of travel.
+		// Scanlines of one direction are independent recurrences over
+		// disjoint pixels; each worker carries its own path/prev scratch.
 		starts := scanStarts(w, h, dx, dy)
-		for _, s := range starts {
-			x, y := s[0], s[1]
-			for d := 0; d < nd; d++ {
-				prev[d] = cost[idx(x, y, d)]
-				agg[idx(x, y, d)] += prev[d]
-			}
-			for {
-				x += dx
-				y += dy
-				if x < 0 || x >= w || y < 0 || y >= h {
-					break
-				}
-				minPrev := prev[0]
-				for d := 1; d < nd; d++ {
-					if prev[d] < minPrev {
-						minPrev = prev[d]
-					}
-				}
+		parallel.For(len(starts), 1, func(s0, s1 int) {
+			path := parallel.GetF32(nd)
+			prev := parallel.GetF32(nd)
+			for si := s0; si < s1; si++ {
+				x, y := starts[si][0], starts[si][1]
 				for d := 0; d < nd; d++ {
-					best := prev[d]
-					if d > 0 && prev[d-1]+cfg.P1 < best {
-						best = prev[d-1] + cfg.P1
-					}
-					if d < nd-1 && prev[d+1]+cfg.P1 < best {
-						best = prev[d+1] + cfg.P1
-					}
-					if minPrev+cfg.P2 < best {
-						best = minPrev + cfg.P2
-					}
-					path[d] = cost[idx(x, y, d)] + best - minPrev
+					prev[d] = cost[idx(x, y, d)]
+					agg[idx(x, y, d)] += prev[d]
 				}
-				for d := 0; d < nd; d++ {
-					prev[d] = path[d]
-					agg[idx(x, y, d)] += path[d]
+				for {
+					x += dx
+					y += dy
+					if x < 0 || x >= w || y < 0 || y >= h {
+						break
+					}
+					minPrev := prev[0]
+					for d := 1; d < nd; d++ {
+						if prev[d] < minPrev {
+							minPrev = prev[d]
+						}
+					}
+					for d := 0; d < nd; d++ {
+						best := prev[d]
+						if d > 0 && prev[d-1]+cfg.P1 < best {
+							best = prev[d-1] + cfg.P1
+						}
+						if d < nd-1 && prev[d+1]+cfg.P1 < best {
+							best = prev[d+1] + cfg.P1
+						}
+						if minPrev+cfg.P2 < best {
+							best = minPrev + cfg.P2
+						}
+						path[d] = cost[idx(x, y, d)] + best - minPrev
+					}
+					for d := 0; d < nd; d++ {
+						prev[d] = path[d]
+						agg[idx(x, y, d)] += path[d]
+					}
 				}
 			}
-		}
+			parallel.PutF32(prev)
+			parallel.PutF32(path)
+		})
 	}
 	// Winner take all with texture gating, uniqueness, and sub-pixel
 	// refinement.
 	m := &DisparityMap{W: w, H: h, D: make([]float32, w*h)}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			if cfg.MinTexture > 0 && localVariance3(left, x, y) < cfg.MinTexture {
-				m.D[y*w+x] = -1
-				continue
-			}
-			bestD, best, second := -1, float32(1e30), float32(1e30)
-			for d := 0; d < nd; d++ {
-				c := agg[idx(x, y, d)]
-				if c < best {
-					second = best
-					best = c
-					bestD = d
-				} else if c < second {
-					second = c
+	parallel.ForRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				if cfg.MinTexture > 0 && localVariance3(left, x, y) < cfg.MinTexture {
+					m.D[y*w+x] = -1
+					continue
 				}
-			}
-			if bestD < 0 || second < best*cfg.UniquenessRatio {
-				m.D[y*w+x] = -1
-				continue
-			}
-			dv := float32(bestD)
-			if bestD > 0 && bestD < nd-1 {
-				c0 := agg[idx(x, y, bestD-1)]
-				c1 := best
-				c2 := agg[idx(x, y, bestD+1)]
-				den := c0 - 2*c1 + c2
-				if den > 1e-9 {
-					dv += 0.5 * (c0 - c2) / den
+				bestD, best, second := -1, float32(1e30), float32(1e30)
+				for d := 0; d < nd; d++ {
+					c := agg[idx(x, y, d)]
+					if c < best {
+						second = best
+						best = c
+						bestD = d
+					} else if c < second {
+						second = c
+					}
 				}
+				if bestD < 0 || second < best*cfg.UniquenessRatio {
+					m.D[y*w+x] = -1
+					continue
+				}
+				dv := float32(bestD)
+				if bestD > 0 && bestD < nd-1 {
+					c0 := agg[idx(x, y, bestD-1)]
+					c1 := best
+					c2 := agg[idx(x, y, bestD+1)]
+					den := c0 - 2*c1 + c2
+					if den > 1e-9 {
+						dv += 0.5 * (c0 - c2) / den
+					}
+				}
+				m.D[y*w+x] = dv
 			}
-			m.D[y*w+x] = dv
 		}
-	}
+	})
 	return m
 }
 

@@ -1,6 +1,10 @@
 package vision
 
-import "math"
+import (
+	"math"
+
+	"sov/internal/parallel"
+)
 
 // DisparityMap is a dense per-pixel disparity image; invalid pixels are
 // negative.
@@ -46,7 +50,9 @@ func sadAt(left, right *Image, x, y, d, half int) float64 {
 
 // matchPixel finds the best disparity in [dMin, dMax] with sub-pixel
 // parabola refinement and a uniqueness check. Returns -1 when ambiguous.
-func matchPixel(left, right *Image, x, y, dMin, dMax, half int) float32 {
+// scratch, when non-nil with sufficient capacity, holds the per-candidate
+// costs so the per-pixel hot path does not allocate.
+func matchPixel(left, right *Image, x, y, dMin, dMax, half int, scratch []float64) float32 {
 	if dMin < 0 {
 		dMin = 0
 	}
@@ -58,7 +64,11 @@ func matchPixel(left, right *Image, x, y, dMin, dMax, half int) float32 {
 	}
 	best, second := math.Inf(1), math.Inf(1)
 	bestD := -1
-	costs := make([]float64, dMax-dMin+1)
+	costs := scratch
+	if cap(costs) < dMax-dMin+1 {
+		costs = make([]float64, dMax-dMin+1)
+	}
+	costs = costs[:dMax-dMin+1]
 	for d := dMin; d <= dMax; d++ {
 		c := sadAt(left, right, x, y, d, half)
 		costs[d-dMin] = c
@@ -95,11 +105,15 @@ func matchPixel(left, right *Image, x, y, dMin, dMax, half int) float32 {
 // ELAS-style matcher is compared against.
 func BlockMatch(left, right *Image, maxDisp, half int) *DisparityMap {
 	m := &DisparityMap{W: left.W, H: left.H, D: make([]float32, left.W*left.H)}
-	for y := 0; y < left.H; y++ {
-		for x := 0; x < left.W; x++ {
-			m.D[y*m.W+x] = matchPixel(left, right, x, y, 0, maxDisp, half)
+	parallel.ForRows(left.H, func(y0, y1 int) {
+		costs := parallel.GetF64(maxDisp + 1)
+		for y := y0; y < y1; y++ {
+			for x := 0; x < left.W; x++ {
+				m.D[y*m.W+x] = matchPixel(left, right, x, y, 0, maxDisp, half, costs)
+			}
 		}
-	}
+		parallel.PutF64(costs)
+	})
 	return m
 }
 
@@ -113,14 +127,32 @@ type SupportPoint struct {
 // unambiguous matches are kept. The grid stride trades prior density for
 // speed, exactly as ELAS's support points do.
 func SupportPoints(left, right *Image, maxDisp, half, stride int) []SupportPoint {
-	var out []SupportPoint
+	// Grid rows are matched in parallel into per-tile buckets, then
+	// concatenated in tile order so the output order matches the serial
+	// row-major scan exactly.
+	nRows := 0
 	for y := half; y < left.H-half; y += stride {
-		for x := half; x < left.W-half; x += stride {
-			d := matchPixel(left, right, x, y, 0, maxDisp, half)
-			if d >= 0 {
-				out = append(out, SupportPoint{X: x, Y: y, D: d})
+		nRows++
+	}
+	buckets := make([][]SupportPoint, parallel.Tiles(nRows, 1))
+	parallel.ForTiled(nRows, 1, func(tile, r0, r1 int) {
+		costs := parallel.GetF64(maxDisp + 1)
+		var rows []SupportPoint
+		for r := r0; r < r1; r++ {
+			y := half + r*stride
+			for x := half; x < left.W-half; x += stride {
+				d := matchPixel(left, right, x, y, 0, maxDisp, half, costs)
+				if d >= 0 {
+					rows = append(rows, SupportPoint{X: x, Y: y, D: d})
+				}
 			}
 		}
+		buckets[tile] = rows
+		parallel.PutF64(costs)
+	})
+	var out []SupportPoint
+	for _, b := range buckets {
+		out = append(out, b...)
 	}
 	return out
 }
@@ -138,17 +170,21 @@ func SupportPointStereo(left, right *Image, maxDisp, half, stride, band int) *Di
 		}
 		return m
 	}
-	for y := 0; y < left.H; y++ {
-		for x := 0; x < left.W; x++ {
-			prior := interpolatePrior(sps, x, y)
-			dMin := int(prior) - band
-			dMax := int(prior) + band
-			if dMax > maxDisp {
-				dMax = maxDisp
+	parallel.ForRows(left.H, func(y0, y1 int) {
+		costs := parallel.GetF64(maxDisp + 1)
+		for y := y0; y < y1; y++ {
+			for x := 0; x < left.W; x++ {
+				prior := interpolatePrior(sps, x, y)
+				dMin := int(prior) - band
+				dMax := int(prior) + band
+				if dMax > maxDisp {
+					dMax = maxDisp
+				}
+				m.D[y*m.W+x] = matchPixel(left, right, x, y, dMin, dMax, half, costs)
 			}
-			m.D[y*m.W+x] = matchPixel(left, right, x, y, dMin, dMax, half)
 		}
-	}
+		parallel.PutF64(costs)
+	})
 	return m
 }
 

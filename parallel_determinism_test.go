@@ -1,0 +1,217 @@
+// Determinism contract of the parallel compute substrate: every kernel that
+// fans out over internal/parallel must produce byte-identical results for
+// any worker count, so the calibrated figures regenerate unchanged whatever
+// hardware runs them. Each test executes the same workload at workers=1 and
+// workers=8 and asserts bit-exact equality.
+package sov
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"sov/internal/core"
+	"sov/internal/detect"
+	"sov/internal/mathx"
+	"sov/internal/nn"
+	"sov/internal/parallel"
+	"sov/internal/pointcloud"
+	"sov/internal/sim"
+	"sov/internal/track"
+	"sov/internal/vision"
+)
+
+// atWorkers runs fn under the given worker count, restoring the previous
+// configuration afterwards.
+func atWorkers(n int, fn func()) {
+	prev := parallel.SetWorkers(n)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+func TestSGMDeterministicAcrossWorkers(t *testing.T) {
+	left, right := benchStereoPair(128, 96)
+	cfg := vision.DefaultSGMConfig()
+	cfg.MaxDisp = 24
+	var serial, par *vision.DisparityMap
+	atWorkers(1, func() { serial = vision.SGM(left, right, cfg) })
+	atWorkers(8, func() { par = vision.SGM(left, right, cfg) })
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("SGM disparity maps differ between workers=1 and workers=8")
+	}
+}
+
+func TestBlockStereoDeterministicAcrossWorkers(t *testing.T) {
+	left, right := benchStereoPair(128, 96)
+	var bm1, bm8, sp1, sp8 *vision.DisparityMap
+	atWorkers(1, func() {
+		bm1 = vision.BlockMatch(left, right, 16, 2)
+		sp1 = vision.SupportPointStereo(left, right, 16, 2, 8, 3)
+	})
+	atWorkers(8, func() {
+		bm8 = vision.BlockMatch(left, right, 16, 2)
+		sp8 = vision.SupportPointStereo(left, right, 16, 2, 8, 3)
+	})
+	if !reflect.DeepEqual(bm1, bm8) {
+		t.Fatal("BlockMatch disparity maps differ between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(sp1, sp8) {
+		t.Fatal("SupportPointStereo disparity maps differ between workers=1 and workers=8")
+	}
+}
+
+func TestConvForwardDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := nn.NewConv2D(8, 16, 3, 1, 1, true, rng)
+	in := nn.NewTensor(8, 40, 40)
+	for i := range in.Data {
+		in.Data[i] = float32(rng.NormFloat64())
+	}
+	var serial, par *nn.Tensor
+	atWorkers(1, func() { serial = conv.Forward(in) })
+	atWorkers(8, func() { par = conv.Forward(in) })
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("conv forward outputs differ between workers=1 and workers=8")
+	}
+}
+
+func TestFFT2DDeterministicAcrossWorkers(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(5))
+	src := make([]complex128, n*n)
+	for i := range src {
+		src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	run := func(workers int) []complex128 {
+		out := make([]complex128, len(src))
+		copy(out, src)
+		atWorkers(workers, func() {
+			if err := mathx.FFT2D(out, n, n, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return out
+	}
+	if !reflect.DeepEqual(run(1), run(8)) {
+		t.Fatal("FFT2D outputs differ between workers=1 and workers=8")
+	}
+}
+
+func TestICPDeterministicAcrossWorkers(t *testing.T) {
+	rng := sim.NewRNG(17)
+	scan := pointcloud.GenerateScan(3000, 55, rng.Fork())
+	moved := scan.Transform(0.02, mathx.Vec3{X: 0.25, Y: -0.1})
+	run := func(workers int) (pointcloud.ICPResult, []int, []pointcloud.Normal) {
+		var res pointcloud.ICPResult
+		var reuse []int
+		var normals []pointcloud.Normal
+		atWorkers(workers, func() {
+			tree := pointcloud.Build(scan, nil)
+			res = pointcloud.Localize(tree, moved, nil, 10, 1)
+			reuse = append([]int(nil), tree.Reuse...)
+			normals = pointcloud.EstimateNormals(tree, scan, nil, 8)
+		})
+		return res, reuse, normals
+	}
+	r1, u1, n1 := run(1)
+	r8, u8, n8 := run(8)
+	if r1 != r8 {
+		t.Fatalf("ICP results differ: workers=1 %+v, workers=8 %+v", r1, r8)
+	}
+	if !reflect.DeepEqual(u1, u8) {
+		t.Fatal("kd-tree reuse counters differ between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(n1, n8) {
+		t.Fatal("estimated normals differ between workers=1 and workers=8")
+	}
+}
+
+func TestKCFDeterministicAcrossWorkers(t *testing.T) {
+	intr := vision.DefaultIntrinsics()
+	scene := vision.Scene{Background: 2, BgDepth: 25,
+		Boxes: []vision.Box{{X: 0, Y: 0, Z: 6, W: 1.8, H: 1.8, Texture: 17}}}
+	im := scene.Render(intr, 0)
+	moved := vision.Scene{Background: 2, BgDepth: 25,
+		Boxes: []vision.Box{{X: 0.12, Y: 0.05, Z: 6, W: 1.8, H: 1.8, Texture: 17}}}.Render(intr, 0)
+	run := func(workers int) (track.Result, float64, float64) {
+		var res track.Result
+		var cx, cy float64
+		atWorkers(workers, func() {
+			k := track.NewKCF(32)
+			k.Init(im, intr.Cx, intr.Cy)
+			res = k.Update(moved)
+			cx, cy = k.Center()
+		})
+		return res, cx, cy
+	}
+	r1, x1, y1 := run(1)
+	r8, x8, y8 := run(8)
+	if r1 != r8 || x1 != x8 || y1 != y8 {
+		t.Fatalf("KCF tracking differs: workers=1 %+v (%.9f,%.9f), workers=8 %+v (%.9f,%.9f)",
+			r1, x1, y1, r8, x8, y8)
+	}
+}
+
+func TestDetectionDecodeDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cells := make([]nn.GridBox, 2048)
+	for i := range cells {
+		cells[i] = nn.GridBox{
+			CX: rng.Float32(), CY: rng.Float32(),
+			W: 0.05 + 0.1*rng.Float32(), H: 0.05 + 0.1*rng.Float32(),
+			Objectness:  rng.Float32(),
+			ClassScores: []float32{rng.Float32(), rng.Float32(), rng.Float32()},
+		}
+	}
+	run := func(workers int) ([]detect.BBox, []detect.BBox) {
+		var boxes, kept []detect.BBox
+		atWorkers(workers, func() {
+			boxes = detect.DecodeGrid(cells, 0.5)
+			kept = detect.NMS(boxes, 0.4)
+		})
+		return boxes, kept
+	}
+	b1, k1 := run(1)
+	b8, k8 := run(8)
+	if !reflect.DeepEqual(b1, b8) {
+		t.Fatal("DecodeGrid outputs differ between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(k1, k8) {
+		t.Fatal("NMS outputs differ between workers=1 and workers=8")
+	}
+}
+
+// TestCoreSimulationDeterministicAcrossWorkers drives the full SoV control
+// loop — concurrent perception-branch dispatch included — and asserts the
+// per-cycle trace and headline report figures are bit-identical across
+// worker counts.
+func TestCoreSimulationDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (string, *core.Report) {
+		var buf bytes.Buffer
+		var rep *core.Report
+		atWorkers(workers, func() {
+			cfg := core.DefaultConfig()
+			cfg.Seed = 4
+			s := core.New(cfg, core.CruiseScenario(4))
+			tr := core.NewTracer(&buf)
+			s.AttachTracer(tr)
+			rep = s.Run(5 * time.Second)
+			if _, err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return buf.String(), rep
+	}
+	tr1, rep1 := run(1)
+	tr8, rep8 := run(8)
+	if tr1 != tr8 {
+		t.Fatal("simulation traces differ between workers=1 and workers=8")
+	}
+	if rep1.Cycles != rep8.Cycles || rep1.CommandsDelivered != rep8.CommandsDelivered ||
+		rep1.Tcomp.Mean() != rep8.Tcomp.Mean() || rep1.EndToEnd.Mean() != rep8.EndToEnd.Mean() {
+		t.Fatalf("simulation reports differ: workers=1 cycles=%d tcomp=%v, workers=8 cycles=%d tcomp=%v",
+			rep1.Cycles, rep1.Tcomp.Mean(), rep8.Cycles, rep8.Tcomp.Mean())
+	}
+}

@@ -5,15 +5,19 @@
 // Usage:
 //
 //	sovbench [-duration 120s] [-seed 1] [-points 4000] [-only fig10] [-workers N]
+//	         [-pipeline] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"sov/internal/core"
 	"sov/internal/experiments"
 	"sov/internal/parallel"
 )
@@ -24,8 +28,40 @@ func main() {
 	points := flag.Int("points", 4000, "points per synthetic LiDAR scan")
 	only := flag.String("only", "", "run a single experiment: fig2|fig3a|fig3b|table1|table2|fig4a|fig4b|fig6|fig8|fig9|fig10|fig11a|fig11b|fig12|reactive|fusion|extensions|csv")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
+	pipelined := flag.Bool("pipeline", false, "run SoV control loops as overlapped pipeline stages (output is identical)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	core.SetPipelineDefault(*pipelined)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	if *only == "" {
 		fmt.Print(experiments.All(*seed, *duration, *points))

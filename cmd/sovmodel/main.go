@@ -14,14 +14,17 @@ import (
 	"runtime"
 	"time"
 
+	"sov/internal/core"
 	"sov/internal/models"
 	"sov/internal/parallel"
 )
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
+	pipelined := flag.Bool("pipeline", false, "run any SoV control loops as overlapped pipeline stages (output is identical)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	core.SetPipelineDefault(*pipelined)
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sovsim [-duration 120s] [-seed 1] [-no-fpga] [-no-sync] [-no-reactive]
-//	       [-no-radar-tracking] [-em-planner] [-workers N]
+//	       [-no-radar-tracking] [-em-planner] [-workers N] [-pipeline]
 package main
 
 import (
@@ -30,10 +30,12 @@ func main() {
 	shuttle := flag.Bool("shuttle", false, "run the 8-seater shuttle instead of the 2-seater pod")
 	tracePath := flag.String("trace", "", "write a JSONL per-cycle trace to this path")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
+	pipelined := flag.Bool("pipeline", false, "run the control loop as overlapped pipeline stages (output is identical)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
 	cfg := core.DefaultConfig()
+	cfg.Pipeline = *pipelined
 	cfg.Seed = *seed
 	if *shuttle {
 		cfg.Vehicle = vehicle.ShuttleParams()

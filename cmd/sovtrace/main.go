@@ -34,4 +34,6 @@ func main() {
 	fmt.Printf("cycles: %d (%d blocked)\n", sum.Cycles, sum.BlockedCycles)
 	fmt.Printf("distance: %.0f m\n", sum.DistanceM)
 	fmt.Printf("Tcomp: %s ms\n", sum.TcompMs)
+	fmt.Printf("in-flight commands at capture: mean=%.2f max=%.0f\n",
+		sum.InFlight.Mean, sum.InFlight.Max)
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"os"
 	"time"
 
 	"sov/internal/detect"
@@ -55,6 +56,12 @@ type Config struct {
 	RPREnabled bool
 	// KeyframeEvery spaces feature-extraction keyframes (RPR swaps).
 	KeyframeEvery int
+	// Pipeline runs the control loop as a staged dataflow: sensing capture
+	// on the simulation thread, perception and planning as overlapped
+	// pipeline stages with recycled frame buffers (internal/pipeline).
+	// Virtual-time results are byte-identical to the serial loop; only
+	// wall-clock execution changes.
+	Pipeline bool
 
 	// Detector configures the oracle-noise detection channel.
 	Detector detect.Config
@@ -74,9 +81,22 @@ type Config struct {
 	SyncErrorFactor float64
 }
 
+// pipelineDefault is the process-wide default for Config.Pipeline, set by
+// command-line front-ends (-pipeline) so helpers that build DefaultConfig
+// internally (the experiment suite) pick the pipelined runtime up too. The
+// SOV_PIPELINE environment variable seeds it, letting CI rerun the whole
+// test suite under the pipelined runtime (results are byte-identical, so
+// every assertion must hold in both modes).
+var pipelineDefault = os.Getenv("SOV_PIPELINE") == "1"
+
+// SetPipelineDefault makes subsequent DefaultConfig calls enable (or
+// disable) the pipelined control-loop runtime.
+func SetPipelineDefault(on bool) { pipelineDefault = on }
+
 // DefaultConfig returns the deployed configuration.
 func DefaultConfig() Config {
 	return Config{
+		Pipeline:        pipelineDefault,
 		Seed:            1,
 		Vehicle:         vehicle.DefaultParams(),
 		TargetSpeed:     5.6,

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"sov/internal/canbus"
+	"sov/internal/detect"
+	"sov/internal/fusion"
+	"sov/internal/mathx"
+	"sov/internal/parallel"
+	"sov/internal/pipeline"
+	"sov/internal/planning"
+	"sov/internal/rpr"
+	"sov/internal/sensors"
+	"sov/internal/track"
+	"sov/internal/vehicle"
+	"sov/internal/world"
+)
+
+// The control loop is split into three stages — capture, perceive, plan —
+// that communicate through a cycleFrame. Serial mode runs them back to back
+// inside the control event; pipelined mode runs perceive and plan on
+// internal/pipeline stage goroutines so frame N plans while N+1 perceives
+// and N+2 captures.
+//
+// The split is drawn along the determinism boundary. Everything that touches
+// shared mutable state or the coordinator RNG stream stays in capture, on
+// the simulation-engine thread, in cycle order: the lane handover, the
+// latency draw, the radar scan (its per-unit RNG streams interleave with the
+// reactive path's scans), the shared-stream noise draws, the command
+// sequence number, and the delivery schedule. Perceive and plan touch only
+// state they own exclusively (the detector's forked RNG, the tracker, the
+// planner's warm start, the tracer) plus frame snapshots, so running them
+// behind FIFO queues on single goroutines reproduces the serial results
+// bit for bit.
+
+// pipeQueueCap bounds each inter-stage ring; with ~100 ms control periods
+// and ~165 ms compute latency the steady-state depth is 2-3 frames, so a
+// small bound provides backpressure without stalling capture.
+const pipeQueueCap = 4
+
+// cycleFrame carries one control cycle through the stages. All slices are
+// recycled buffers: stages truncate and refill them, never reallocate once
+// warm.
+type cycleFrame struct {
+	// Captured on the engine thread.
+	cycle          int
+	t0             time.Duration
+	pose           world.Pose
+	st             vehicle.State
+	lane           world.Lane
+	complexity     float64
+	d              latencyDraw
+	seq            uint16
+	locStd         float64
+	noiseX, noiseY float64
+	noiseH         float64
+	tdata          time.Duration
+	inflight       int
+	overrideActive bool
+	rig            []sensors.RigReturn
+	returns        []sensors.RadarReturn
+
+	// Perceive-stage outputs.
+	dets    []detect.Object
+	tracks  []track.RadarTrack
+	estPose world.Pose
+	fused   []fusion.FusedObject
+	sync    fusion.SyncScratch
+
+	// Plan-stage outputs.
+	obstacles []planning.Obstacle
+	objects   int
+	blocked   bool
+	cmdFrame  canbus.Frame
+	encodeOK  bool
+	// done signals the plan stage finished this frame; the delivery event
+	// waits on it in pipelined mode.
+	done chan struct{}
+	// deliver is the frame's delivery-event closure, built once when the
+	// frame pool creates the frame so scheduling never allocates.
+	deliver func()
+}
+
+func newCycleFrame() *cycleFrame {
+	return &cycleFrame{done: make(chan struct{}, 1)}
+}
+
+// startPipeline builds the frame pool and the two-stage runtime. Called
+// from Run when cfg.Pipeline is set.
+func (s *SoV) startPipeline() {
+	pool := pipeline.NewFramePool(func() *cycleFrame {
+		fr := newCycleFrame()
+		fr.deliver = func() {
+			<-fr.done // the command must be computed before it can arrive
+			if fr.encodeOK {
+				if err := s.ecu.Receive(fr.cmdFrame); err == nil {
+					s.report.CommandsDelivered++
+				}
+			}
+			s.framePool.Put(fr)
+		}
+		return fr
+	}, func(fr *cycleFrame) {
+		select {
+		case <-fr.done: // drain a stale completion token (unfired delivery)
+		default:
+		}
+	})
+	s.framePool = pool
+	s.pipe = pipeline.NewRuntime(pipeQueueCap,
+		pipeline.Stage[cycleFrame]{Name: "perceive", Fn: s.perceiveFrame},
+		pipeline.Stage[cycleFrame]{Name: "plan", Fn: func(fr *cycleFrame) {
+			s.planFrame(fr)
+			fr.done <- struct{}{}
+		}},
+	)
+}
+
+// stopPipeline waits out in-flight frames, joins the stage goroutines, and
+// files the wall-clock diagnostics into the report.
+func (s *SoV) stopPipeline() {
+	if s.pipe == nil {
+		return
+	}
+	s.pipe.Drain()
+	s.pipe.Stop()
+	s.report.Pipeline = &PipelineStats{Stages: s.pipe.Stats(), Pool: s.framePool.Stats()}
+	s.pipe = nil
+	s.framePool = nil
+}
+
+// captureInto runs the capture stage: everything RNG- or shared-state-
+// dependent, in the exact order of the historical serial cycle, snapshotted
+// into the frame.
+func (s *SoV) captureInto(fr *cycleFrame) {
+	s.cycle++
+	fr.cycle = s.cycle
+	fr.t0 = s.engine.Now()
+	fr.pose = s.pose()
+	fr.st = s.veh.State()
+
+	// Route following: hand over to the next leg as the vehicle
+	// progresses (the annotated lane map's job). The lookahead anchor
+	// starts the corner handover while the vehicle still has the speed to
+	// steer through it.
+	lookahead := mathx.Clamp(fr.st.Speed*1.5, 2, 6)
+	anchor := fr.pose.Pos.Add(mathx.Vec2{X: math.Cos(fr.pose.Heading), Y: math.Sin(fr.pose.Heading)}.Scale(lookahead))
+	s.lane = s.route.Lanes[s.route.ActiveLane(anchor)]
+	fr.lane = s.lane
+
+	fr.complexity = s.world.SceneComplexity(fr.pose, fr.t0)
+	keyframe := s.cfg.KeyframeEvery > 0 && s.cycle%s.cfg.KeyframeEvery == 0
+	radarStable := true
+	if p := s.radarRig.Units[0].Config.DropoutProb; p > 0 {
+		radarStable = !s.rng.Bernoulli(p)
+	}
+
+	fr.d = s.lat.draw(fr.complexity, keyframe, radarStable)
+	// RPR swap cost folds into localization when the front-end variant
+	// changes (Sec. V-B3: < 3 ms).
+	if s.rprMgr != nil {
+		bs := rpr.BitstreamFeatureTrack
+		if keyframe {
+			bs = rpr.BitstreamFeatureExtract
+		}
+		if res := s.rprMgr.Require(bs); res.Bytes > 0 {
+			fr.d.Localization += res.Duration
+			if fr.d.Localization > fr.d.Perception {
+				fr.d.Perception = fr.d.Localization
+			}
+			fr.d.Tcomp = fr.d.Sensing + fr.d.Perception + fr.d.Planning
+		}
+	}
+	s.report.observe(fr.d)
+
+	// Pose-estimate noise is drawn at capture so the coordinator's RNG
+	// stream keeps its serial order (dropout Bernoulli, then pose noise)
+	// regardless of how the later stages are scheduled.
+	fr.locStd = s.cfg.LocalizationErrorStd
+	if !s.cfg.HardwareSync {
+		fr.locStd *= s.cfg.SyncErrorFactor
+	}
+	fr.noiseX, fr.noiseY, fr.noiseH = 0, 0, 0
+	if fr.locStd > 0 {
+		fr.noiseX = s.rng.Normal(0, fr.locStd)
+		fr.noiseY = s.rng.Normal(0, fr.locStd)
+		fr.noiseH = s.rng.Normal(0, fr.locStd/2)
+	}
+
+	// The radar scan stays at capture: its per-unit RNG streams are shared
+	// with the reactive path's scans, so the draw order must follow the
+	// virtual clock, not pipeline wall-clock.
+	fr.rig = s.radarRig.ScanAllInto(fr.rig[:0], fr.t0, fr.pose)
+	fr.returns = fr.returns[:0]
+	for _, rr := range fr.rig {
+		fr.returns = append(fr.returns, sensors.RadarReturn{
+			ObstacleID: rr.ObstacleID,
+			Range:      rr.VehiclePos.Norm(),
+			Bearing:    rr.VehicleBearing,
+			RadialVel:  rr.RadialVel,
+			Time:       rr.Time,
+		})
+	}
+
+	// The command sequence number is assigned at capture — in virtual time
+	// the cycle's command exists from its capture instant, which is what
+	// the reactive override's Seq must reflect in both modes.
+	s.seq++
+	fr.seq = s.seq
+	fr.tdata = s.bus.CommandLatency()
+	fr.overrideActive = s.ecu.OverrideActive()
+
+	// Pipeline depth in virtual time: commands captured earlier whose
+	// delivery lies beyond this capture are still in flight. Identical in
+	// serial and pipelined runs — the overlap the dataflow exploits is a
+	// property of the latency model, not of the host scheduling.
+	n := 0
+	for _, deadline := range s.outstanding {
+		if deadline > fr.t0 {
+			s.outstanding[n] = deadline
+			n++
+		}
+	}
+	s.outstanding = s.outstanding[:n]
+	fr.inflight = len(s.outstanding)
+	s.report.PipelineDepth.Observe(float64(fr.inflight))
+	s.outstanding = append(s.outstanding, fr.t0+fr.d.Tcomp+fr.tdata)
+}
+
+// perceiveFrame runs the perception stage on a captured frame: camera
+// detection and radar-track maintenance (concurrent kernels when workers
+// allow), then spatial synchronization into the fused object list.
+func (s *SoV) perceiveFrame(fr *cycleFrame) {
+	if parallel.Workers() <= 1 {
+		s.perceiveDetect(fr)
+		s.perceiveTrack(fr)
+	} else {
+		parallel.Do(
+			func() { s.perceiveDetect(fr) },
+			func() { s.perceiveTrack(fr) },
+		)
+	}
+	fr.fused = fr.fused[:0]
+	if s.cfg.RadarTracking {
+		matches, ud, _ := fr.sync.SpatialSyncInto(fusion.DefaultSpatialSyncConfig(), fr.dets, fr.tracks)
+		fr.fused = fusion.FuseAllInto(fr.fused, matches, ud)
+	} else {
+		for _, dt := range fr.dets {
+			fr.fused = append(fr.fused, fusion.FusedObject{Object: dt, Velocity: dt.Vel})
+		}
+	}
+}
+
+func (s *SoV) perceiveDetect(fr *cycleFrame) {
+	fr.dets = s.det.DetectInto(fr.dets[:0], fr.t0, fr.pose)
+}
+
+func (s *SoV) perceiveTrack(fr *cycleFrame) {
+	fr.tracks = s.tracker.ObserveInto(fr.t0, fr.returns, fr.tracks[:0])
+	// The planner consumes the *estimated* pose. With the hardware
+	// synchronizer and map-mode VIO the error is a few centimeters;
+	// without synchronization it inflates per the Fig. 11 studies, and
+	// the lane-keeping loop feels it.
+	fr.estPose = fr.pose
+	if fr.locStd > 0 {
+		fr.estPose.Pos = fr.estPose.Pos.Add(mathx.Vec2{X: fr.noiseX, Y: fr.noiseY})
+		fr.estPose.Heading = mathx.WrapAngle(fr.estPose.Heading + fr.noiseH)
+	}
+}
+
+// planFrame runs the planning stage: lane-frame conversion, the planner,
+// telemetry, and command encoding.
+func (s *SoV) planFrame(fr *cycleFrame) {
+	in := s.planningInput(fr)
+	p := s.plan.Plan(in)
+	fr.blocked = p.Blocked
+	if p.Blocked {
+		s.report.BlockedCycles++
+	}
+	fr.objects = len(fr.fused)
+	s.recordTrace(fr)
+
+	cmd := p.Cmd
+	cmd.Seq = fr.seq
+	frame, err := canbus.EncodeCommand(canbus.IDControlCommand, cmd)
+	if err != nil {
+		s.report.EncodeErrors++
+		fr.encodeOK = false
+		return
+	}
+	fr.cmdFrame = frame
+	fr.encodeOK = true
+}
+
+// planningInput converts fused perception output into lane coordinates,
+// filling the frame's obstacle buffer.
+func (s *SoV) planningInput(fr *cycleFrame) planning.Input {
+	laneDir := fr.lane.Direction()
+	laneAngle := laneDir.Angle()
+	in := planning.Input{
+		Speed:       fr.st.Speed,
+		LaneOffset:  fr.lane.LateralOffset(fr.estPose.Pos),
+		HeadingErr:  mathx.WrapAngle(fr.estPose.Heading - laneAngle),
+		TargetSpeed: s.cfg.TargetSpeed,
+		LaneWidth:   fr.lane.Width,
+	}
+	fr.obstacles = fr.obstacles[:0]
+	for _, f := range fr.fused {
+		worldPos := detect.ToWorld(fr.estPose, f.Object.Pos)
+		rel := worldPos.Sub(fr.estPose.Pos)
+		sAlong := rel.Dot(laneDir)
+		if sAlong < -2 {
+			continue // behind
+		}
+		velWorld := f.Velocity
+		radius := f.Object.Radius
+		if radius < 0.3 {
+			radius = 0.3
+		}
+		fr.obstacles = append(fr.obstacles, planning.Obstacle{
+			S:      sAlong,
+			D:      fr.lane.LateralOffset(worldPos),
+			VS:     velWorld.Dot(laneDir),
+			VD:     velWorld.Dot(mathx.Vec2{X: -laneDir.Y, Y: laneDir.X}),
+			Radius: radius,
+		})
+	}
+	in.Obstacles = fr.obstacles
+	return in
+}

@@ -24,9 +24,10 @@ type latencyDraw struct {
 // mapping (120 ms without the FPGA offload), planning ≈ 3 ms; mean Tcomp
 // 164 ms, best ≈ 149 ms, with a long tail reaching the 740 ms worst case.
 type latencyModel struct {
-	cfg  Config
-	pipe isp.Pipeline
-	rng  *sim.RNG
+	cfg    Config
+	pipe   isp.Pipeline
+	rng    *sim.RNG
+	delays []time.Duration // reused per-draw ISP trace buffer
 }
 
 func newLatencyModel(cfg Config, rng *sim.RNG) *latencyModel {
@@ -47,7 +48,9 @@ func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool) late
 	var d latencyDraw
 
 	// Sensing: exposure + readout + ISP/kernel/app pipeline.
-	d.Sensing = exposure + readout + m.pipe.Deliver(m.rng).Total
+	tr := m.pipe.DeliverInto(m.delays, m.rng)
+	m.delays = tr.Delays
+	d.Sensing = exposure + readout + tr.Total
 	if !m.cfg.HardwareSync {
 		// Software sync adds an alignment search at the application
 		// layer (buffering + nearest-timestamp matching).

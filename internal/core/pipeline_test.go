@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// tracedRun executes a cruise run in the given mode and returns the full
+// per-cycle trace plus the report.
+func tracedRun(t *testing.T, pipelined bool, dur time.Duration) (string, *Report) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Pipeline = pipelined
+	s := New(cfg, CruiseScenario(3))
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	s.AttachTracer(tr)
+	rep := s.Run(dur)
+	if _, err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), rep
+}
+
+// TestPipelinedByteIdenticalToSerial is the determinism contract of the
+// staged dataflow: the pipelined runtime must reproduce the serial control
+// loop bit for bit — every trace line and every headline figure — because
+// the stage split follows the RNG/shared-state boundary exactly.
+func TestPipelinedByteIdenticalToSerial(t *testing.T) {
+	serTrace, serRep := tracedRun(t, false, 30*time.Second)
+	pipTrace, pipRep := tracedRun(t, true, 30*time.Second)
+	if serTrace != pipTrace {
+		t.Fatal("pipelined trace differs from serial trace")
+	}
+	if serRep.Cycles != pipRep.Cycles ||
+		serRep.CommandsDelivered != pipRep.CommandsDelivered ||
+		serRep.BlockedCycles != pipRep.BlockedCycles ||
+		serRep.Collisions != pipRep.Collisions ||
+		serRep.Tcomp.Mean() != pipRep.Tcomp.Mean() ||
+		serRep.EndToEnd.Mean() != pipRep.EndToEnd.Mean() ||
+		serRep.LateralRMSM != pipRep.LateralRMSM ||
+		serRep.PipelineDepth.Mean() != pipRep.PipelineDepth.Mean() {
+		t.Fatalf("pipelined report diverged:\nserial: cycles=%d delivered=%d tcomp=%v e2e=%v\npiped:  cycles=%d delivered=%d tcomp=%v e2e=%v",
+			serRep.Cycles, serRep.CommandsDelivered, serRep.Tcomp.Mean(), serRep.EndToEnd.Mean(),
+			pipRep.Cycles, pipRep.CommandsDelivered, pipRep.Tcomp.Mean(), pipRep.EndToEnd.Mean())
+	}
+}
+
+// TestPipelinedRunReportsStageDiagnostics: a pipelined run must surface the
+// wall-clock stage counters and frame-pool reuse; a serial run must not.
+func TestPipelinedRunReportsStageDiagnostics(t *testing.T) {
+	_, serRep := tracedRun(t, false, 10*time.Second)
+	if serRep.Pipeline != nil {
+		t.Fatal("serial run should not carry pipeline diagnostics")
+	}
+	_, pipRep := tracedRun(t, true, 10*time.Second)
+	p := pipRep.Pipeline
+	if p == nil {
+		t.Fatal("pipelined run missing stage diagnostics")
+	}
+	if len(p.Stages) != 2 || p.Stages[0].Name != "perceive" || p.Stages[1].Name != "plan" {
+		t.Fatalf("unexpected stages: %+v", p.Stages)
+	}
+	for _, st := range p.Stages {
+		if st.Frames != int64(pipRep.Cycles) {
+			t.Fatalf("stage %s processed %d frames, want %d", st.Name, st.Frames, pipRep.Cycles)
+		}
+	}
+	// Steady state recycles a handful of frames; the pool must show heavy
+	// reuse, not per-cycle allocation.
+	if p.Pool.News > 2*pipeQueueCap+4 {
+		t.Fatalf("frame pool allocated %d frames for %d cycles", p.Pool.News, pipRep.Cycles)
+	}
+	if p.Pool.Reuses < int64(pipRep.Cycles)/2 {
+		t.Fatalf("frame pool reused only %d of %d cycles", p.Pool.Reuses, pipRep.Cycles)
+	}
+}
+
+// TestPipelinedReactivePreemption replays the Eq. 1 worst case with the
+// pipelined runtime: a sudden obstacle at 4.5 m — inside the proactive
+// envelope, outside the braking floor — must still be caught by the
+// synchronous reactive path while the pipeline is busy, with the identical
+// outcome to the serial loop.
+func TestPipelinedReactivePreemption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pipeline = true
+	out := RunSuddenObstacle(cfg, 4.5, 30*time.Second)
+	if !out.Reactive {
+		t.Fatalf("reactive path did not preempt the busy pipeline: %+v", out)
+	}
+	if out.Collided {
+		t.Fatalf("Eq. 1 brake-latency bound violated under -pipeline: %+v", out)
+	}
+	serial := RunSuddenObstacle(DefaultConfig(), 4.5, 30*time.Second)
+	if out != serial {
+		t.Fatalf("pipelined outcome %+v differs from serial %+v", out, serial)
+	}
+	// Inside the braking floor the collision stays physically guaranteed —
+	// pipelining must not "rescue" an impossible case either.
+	floor := RunSuddenObstacle(cfg, 2.5, 30*time.Second)
+	if !floor.Collided {
+		t.Fatalf("impossible avoidance succeeded under -pipeline: %+v", floor)
+	}
+}
+
+// TestPipelineDepthMatchesLatencyModel: with ~165 ms compute at 10 Hz, 1-2
+// earlier commands are still in flight at each capture — in both modes,
+// because depth is a virtual-time property of the latency model.
+func TestPipelineDepthMatchesLatencyModel(t *testing.T) {
+	_, rep := tracedRun(t, true, 30*time.Second)
+	if m := rep.PipelineDepth.Mean(); m < 0.8 || m > 2.5 {
+		t.Fatalf("mean in-flight depth = %.2f, want ~1-2 at 10 Hz x 165 ms", m)
+	}
+	if rep.PipelineDepth.Max() < 1 {
+		t.Fatal("no overlap observed at all")
+	}
+}

@@ -7,8 +7,17 @@ import (
 	"time"
 
 	"sov/internal/models"
+	"sov/internal/pipeline"
 	"sov/internal/stats"
 )
+
+// PipelineStats carries the wall-clock diagnostics of a pipelined run: per-
+// stage busy/wait/occupancy counters and frame-pool reuse. Virtual-time
+// metrics live in the Report proper; these describe only host execution.
+type PipelineStats struct {
+	Stages []pipeline.StageStats
+	Pool   pipeline.PoolStats
+}
 
 // Report is the run's characterization output: the Fig. 10 latency
 // distributions plus safety/throughput counters.
@@ -24,6 +33,14 @@ type Report struct {
 	Localization *stats.Sample
 	// EndToEnd includes Tdata and Tmech (Fig. 2's pre-braking chain).
 	EndToEnd *stats.Sample
+	// PipelineDepth samples, at each capture, how many earlier commands are
+	// still in flight (captured but undelivered) — the virtual-time overlap
+	// the staged dataflow exploits. Identical in serial and pipelined runs.
+	PipelineDepth *stats.Sample
+
+	// Pipeline holds wall-clock stage/pool diagnostics when the run used
+	// the pipelined runtime; nil for serial runs.
+	Pipeline *PipelineStats
 
 	Cycles              int
 	CommandsDelivered   int
@@ -65,6 +82,7 @@ func (r *Report) init() {
 	r.Tracking = stats.NewSample()
 	r.Localization = stats.NewSample()
 	r.EndToEnd = stats.NewSample()
+	r.PipelineDepth = stats.NewSample()
 	r.MinClearance = math.Inf(1)
 	r.collided = make(map[int]bool)
 }
@@ -147,6 +165,23 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "energy: AD system used %.1f Wh (%.2f%% of the 6 kWh pack)\n",
 		r.ADEnergyWh, 100*r.BatteryShare)
 	fmt.Fprintf(&b, "navigation: lane-keeping RMS %.3f m\n", r.LateralRMSM)
+	fmt.Fprintf(&b, "pipeline depth (commands in flight at capture): mean=%.2f max=%.0f\n",
+		r.PipelineDepth.Mean(), r.PipelineDepth.Max())
+	if p := r.Pipeline; p != nil {
+		fmt.Fprintf(&b, "pipelined runtime (wall clock):\n")
+		for _, st := range p.Stages {
+			busy := st.Busy.Seconds() * 1000
+			wait := st.Wait.Seconds() * 1000
+			util := 0.0
+			if tot := busy + wait; tot > 0 {
+				util = 100 * busy / tot
+			}
+			fmt.Fprintf(&b, "  %-9s frames=%d busy=%.1fms wait=%.1fms util=%.0f%% queue: mean occ=%.2f max=%d stalls=%d\n",
+				st.Name, st.Frames, busy, wait, util,
+				st.Queue.MeanOcc, st.Queue.MaxOcc, st.Queue.FullStalls)
+		}
+		fmt.Fprintf(&b, "  frame pool: %d allocated, %d reused\n", p.Pool.News, p.Pool.Reuses)
+	}
 	return b.String()
 }
 

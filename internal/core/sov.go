@@ -7,10 +7,9 @@ import (
 
 	"sov/internal/canbus"
 	"sov/internal/detect"
-	"sov/internal/fusion"
 	"sov/internal/mathx"
 	"sov/internal/models"
-	"sov/internal/parallel"
+	"sov/internal/pipeline"
 	"sov/internal/planning"
 	"sov/internal/rpr"
 	"sov/internal/sensors"
@@ -51,6 +50,16 @@ type SoV struct {
 	report Report
 	cycle  int
 	seq    uint16
+
+	// Staged control-loop state: the recycled serial frame, the pipelined
+	// runtime (nil in serial mode), the in-flight command deadlines behind
+	// the virtual-time pipeline-depth metric, and the recycled delivery
+	// slots that keep steady-state scheduling allocation-free.
+	serialFrame *cycleFrame
+	pipe        *pipeline.Runtime[cycleFrame]
+	framePool   *pipeline.FramePool[cycleFrame]
+	outstanding []time.Duration
+	freeSlots   []*deliverySlot
 
 	// OnPhysicsStep, when set, observes each physics step; returning true
 	// stops the run (used by scenario probes).
@@ -97,6 +106,7 @@ func New(cfg Config, w *world.World) *SoV {
 		s.rprMgr = rpr.NewManager()
 	}
 	s.battery = vehicle.NewBattery(models.DefaultEnergyModel().CapacityKWh)
+	s.serialFrame = newCycleFrame()
 	s.report.init()
 	return s
 }
@@ -124,12 +134,16 @@ func (s *SoV) Run(duration time.Duration) *Report {
 	}
 	reactivePeriod := time.Duration(float64(time.Second) / reactiveRate)
 
+	if s.cfg.Pipeline {
+		s.startPipeline()
+	}
 	s.engine.Every(physPeriod, "physics", func() { s.physicsStep(physPeriod) })
 	s.engine.Every(ctrlPeriod, "control", s.controlCycle)
 	if s.cfg.ReactivePath {
 		s.engine.Every(reactivePeriod, "reactive", s.reactiveCheck)
 	}
 	s.engine.Run(duration)
+	s.stopPipeline()
 	s.report.finish(duration, s)
 	return &s.report
 }
@@ -168,164 +182,67 @@ func (s *SoV) physicsStep(dt time.Duration) {
 
 // controlCycle runs one proactive-path iteration: capture, perceive, plan,
 // and schedule the command's delivery after the drawn computing latency.
+// In pipelined mode capture runs here and the frame is handed to the stage
+// goroutines; the delivery event synchronizes on the frame's completion.
 func (s *SoV) controlCycle() {
-	s.cycle++
-	t0 := s.engine.Now()
-	pose := s.pose()
-	st := s.veh.State()
-
-	// Route following: hand over to the next leg as the vehicle
-	// progresses (the annotated lane map's job). The lookahead anchor
-	// starts the corner handover while the vehicle still has the speed to
-	// steer through it.
-	lookahead := mathx.Clamp(st.Speed*1.5, 2, 6)
-	anchor := pose.Pos.Add(mathx.Vec2{X: math.Cos(pose.Heading), Y: math.Sin(pose.Heading)}.Scale(lookahead))
-	s.lane = s.route.Lanes[s.route.ActiveLane(anchor)]
-
-	complexity := s.world.SceneComplexity(pose, t0)
-	keyframe := s.cfg.KeyframeEvery > 0 && s.cycle%s.cfg.KeyframeEvery == 0
-	radarStable := true
-	if p := s.radarRig.Units[0].Config.DropoutProb; p > 0 {
-		radarStable = !s.rng.Bernoulli(p)
-	}
-
-	d := s.lat.draw(complexity, keyframe, radarStable)
-	// RPR swap cost folds into localization when the front-end variant
-	// changes (Sec. V-B3: < 3 ms).
-	if s.rprMgr != nil {
-		bs := rpr.BitstreamFeatureTrack
-		if keyframe {
-			bs = rpr.BitstreamFeatureExtract
-		}
-		if res := s.rprMgr.Require(bs); res.Bytes > 0 {
-			d.Localization += res.Duration
-			if d.Localization > d.Perception {
-				d.Perception = d.Localization
-			}
-			d.Tcomp = d.Sensing + d.Perception + d.Planning
-		}
-	}
-	s.report.observe(d)
-
-	// Pose-estimate noise is drawn before the branch dispatch so the
-	// coordinator's RNG stream keeps its serial order (dropout Bernoulli,
-	// then pose noise) regardless of worker count.
-	locStd := s.cfg.LocalizationErrorStd
-	if !s.cfg.HardwareSync {
-		locStd *= s.cfg.SyncErrorFactor
-	}
-	var noiseX, noiseY, noiseH float64
-	if locStd > 0 {
-		noiseX = s.rng.Normal(0, locStd)
-		noiseY = s.rng.Normal(0, locStd)
-		noiseH = s.rng.Normal(0, locStd/2)
-	}
-
-	// The three perception branches — camera detection, radar scan +
-	// trajectory tracking, and localization (estimated-pose composition) —
-	// run concurrently, mirroring the per-sensor pipelines of the SoV's
-	// computing stack. They are independent by construction: the detector
-	// and radar rig own forked RNG streams, the tracker is deterministic in
-	// its inputs, and the world is read-only during a cycle, so every
-	// branch output is byte-identical to a serial run.
-	var dets []detect.Object
-	var tracks []track.RadarTrack
-	var estPose world.Pose
-	parallel.Do(
-		func() { dets = s.det.Detect(t0, pose) },
-		func() {
-			var returns []sensors.RadarReturn
-			for _, rr := range s.radarRig.ScanAll(t0, pose) {
-				returns = append(returns, sensors.RadarReturn{
-					ObstacleID: rr.ObstacleID,
-					Range:      rr.VehiclePos.Norm(),
-					Bearing:    rr.VehicleBearing,
-					RadialVel:  rr.RadialVel,
-					Time:       rr.Time,
-				})
-			}
-			tracks = s.tracker.Observe(t0, returns)
-		},
-		func() {
-			// The planner consumes the *estimated* pose. With the hardware
-			// synchronizer and map-mode VIO the error is a few centimeters;
-			// without synchronization it inflates per the Fig. 11 studies,
-			// and the lane-keeping loop feels it.
-			estPose = pose
-			if locStd > 0 {
-				estPose.Pos = estPose.Pos.Add(mathx.Vec2{X: noiseX, Y: noiseY})
-				estPose.Heading = mathx.WrapAngle(estPose.Heading + noiseH)
-			}
-		},
-	)
-	var fused []fusion.FusedObject
-	if s.cfg.RadarTracking {
-		matches, ud, _ := fusion.SpatialSync(fusion.DefaultSpatialSyncConfig(), dets, tracks)
-		fused = fusion.FuseAll(matches, ud)
-	} else {
-		for _, dt := range dets {
-			fused = append(fused, fusion.FusedObject{Object: dt, Velocity: dt.Vel})
-		}
-	}
-
-	in := s.planningInput(estPose, st, fused)
-	p := s.plan.Plan(in)
-	if p.Blocked {
-		s.report.BlockedCycles++
-	}
-	s.recordTrace(d, complexity, len(fused), p.Blocked)
-
-	// The command is computed Tcomp after capture, then crosses the CAN
-	// bus (Tdata) and takes effect after Tmech inside the vehicle model.
-	s.seq++
-	cmd := p.Cmd
-	cmd.Seq = s.seq
-	frame, err := canbus.EncodeCommand(canbus.IDControlCommand, cmd)
-	if err != nil {
-		s.report.EncodeErrors++
+	if s.pipe != nil {
+		s.pipedCycle()
 		return
 	}
-	tdata := s.bus.CommandLatency()
-	s.report.observeE2E(d.Tcomp + tdata + s.cfg.Vehicle.MechLatency)
-	s.engine.Schedule(d.Tcomp+tdata, "command-delivery", func() {
-		if err := s.ecu.Receive(frame); err == nil {
-			s.report.CommandsDelivered++
-		}
-	})
+	fr := s.serialFrame
+	s.captureInto(fr)
+	s.perceiveFrame(fr)
+	s.planFrame(fr)
+	if !fr.encodeOK {
+		return
+	}
+	// The command is computed Tcomp after capture, then crosses the CAN
+	// bus (Tdata) and takes effect after Tmech inside the vehicle model.
+	// The CAN frame is copied into a recycled delivery slot: the serial
+	// frame is reused next cycle, long before this delivery fires.
+	s.report.observeE2E(fr.d.Tcomp + fr.tdata + s.cfg.Vehicle.MechLatency)
+	s.scheduleDelivery(fr.d.Tcomp+fr.tdata, fr.cmdFrame)
 }
 
-// planningInput converts fused perception output into lane coordinates.
-func (s *SoV) planningInput(pose world.Pose, st vehicle.State, fused []fusion.FusedObject) planning.Input {
-	laneDir := s.lane.Direction()
-	laneAngle := laneDir.Angle()
-	in := planning.Input{
-		Speed:       st.Speed,
-		LaneOffset:  s.lane.LateralOffset(pose.Pos),
-		HeadingErr:  mathx.WrapAngle(pose.Heading - laneAngle),
-		TargetSpeed: s.cfg.TargetSpeed,
-		LaneWidth:   s.lane.Width,
-	}
-	for _, f := range fused {
-		worldPos := detect.ToWorld(pose, f.Object.Pos)
-		rel := worldPos.Sub(pose.Pos)
-		sAlong := rel.Dot(laneDir)
-		if sAlong < -2 {
-			continue // behind
+// deliverySlot carries one in-flight CAN frame to its delivery event. The
+// fire closure is built once per slot so steady-state scheduling does not
+// allocate; fired slots return to the SoV's free list.
+type deliverySlot struct {
+	frame canbus.Frame
+	fire  func()
+}
+
+// scheduleDelivery enqueues a command's arrival at the ECU after delay.
+func (s *SoV) scheduleDelivery(delay time.Duration, frame canbus.Frame) {
+	var sl *deliverySlot
+	if n := len(s.freeSlots); n > 0 {
+		sl = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+	} else {
+		sl = &deliverySlot{}
+		sl.fire = func() {
+			if err := s.ecu.Receive(sl.frame); err == nil {
+				s.report.CommandsDelivered++
+			}
+			s.freeSlots = append(s.freeSlots, sl)
 		}
-		velWorld := f.Velocity
-		radius := f.Object.Radius
-		if radius < 0.3 {
-			radius = 0.3
-		}
-		in.Obstacles = append(in.Obstacles, planning.Obstacle{
-			S:      sAlong,
-			D:      s.lane.LateralOffset(worldPos),
-			VS:     velWorld.Dot(laneDir),
-			VD:     velWorld.Dot(mathx.Vec2{X: -laneDir.Y, Y: laneDir.X}),
-			Radius: radius,
-		})
 	}
-	return in
+	sl.frame = frame
+	s.engine.Schedule(delay, "command-delivery", sl.fire)
+}
+
+// pipedCycle is the pipelined control event: capture the frame, schedule
+// its delivery at the virtual-time deadline, and submit it to the stage
+// goroutines. The delivery event blocks (wall-clock only) on the plan
+// stage's completion signal, so virtual-time semantics are unchanged while
+// frame N's planning overlaps frame N+1's perception and frame N+2's
+// capture.
+func (s *SoV) pipedCycle() {
+	fr := s.framePool.Get()
+	s.captureInto(fr)
+	s.report.observeE2E(fr.d.Tcomp + fr.tdata + s.cfg.Vehicle.MechLatency)
+	s.engine.Schedule(fr.d.Tcomp+fr.tdata, "command-delivery", fr.deliver)
+	s.pipe.Submit(fr)
 }
 
 // reactiveCheck is the last line of defense: radar (and sonar) distances go

@@ -27,6 +27,9 @@ type TraceRecord struct {
 	Objects        int     `json:"objects"`
 	Blocked        bool    `json:"blocked,omitempty"`
 	ReactiveActive bool    `json:"reactive,omitempty"`
+	// InFlight counts commands captured earlier but not yet delivered at
+	// this cycle's capture instant — the virtual-time pipeline depth.
+	InFlight int `json:"inflight"`
 }
 
 // Tracer serializes trace records to a writer.
@@ -75,6 +78,7 @@ func (s *SoV) AttachTracer(tr *Tracer) { s.tracer = tr }
 type TraceSummary struct {
 	Cycles        int
 	TcompMs       stats.Summary
+	InFlight      stats.Summary
 	DistanceM     float64
 	BlockedCycles int
 }
@@ -85,6 +89,7 @@ func SummarizeTrace(r io.Reader) (TraceSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	tcomp := stats.NewSample()
+	inflight := stats.NewSample()
 	var out TraceSummary
 	var lastX, lastY float64
 	first := true
@@ -99,6 +104,7 @@ func SummarizeTrace(r io.Reader) (TraceSummary, error) {
 		}
 		out.Cycles++
 		tcomp.Observe(rec.TcompMs)
+		inflight.Observe(float64(rec.InFlight))
 		if rec.Blocked {
 			out.BlockedCycles++
 		}
@@ -112,28 +118,32 @@ func SummarizeTrace(r io.Reader) (TraceSummary, error) {
 		return out, err
 	}
 	out.TcompMs = tcomp.Summarize()
+	out.InFlight = inflight.Summarize()
 	return out, nil
 }
 
-// recordTrace is called from controlCycle when a tracer is attached.
-func (s *SoV) recordTrace(d latencyDraw, complexity float64, objects int, blocked bool) {
+// recordTrace is called from the plan stage when a tracer is attached. It
+// reads only frame snapshots (captured on the engine thread), so it is safe
+// on the pipelined plan goroutine and produces byte-identical lines in both
+// modes.
+func (s *SoV) recordTrace(fr *cycleFrame) {
 	if s.tracer == nil {
 		return
 	}
-	st := s.veh.State()
 	s.tracer.Record(TraceRecord{
-		Cycle:          s.cycle,
-		TimeMs:         s.engine.Now().Seconds() * 1000,
-		PosX:           st.Pos.X,
-		PosY:           st.Pos.Y,
-		Speed:          st.Speed,
-		SensingMs:      ms(d.Sensing),
-		PerceptionMs:   ms(d.Perception),
-		PlanningMs:     ms(d.Planning),
-		TcompMs:        ms(d.Tcomp),
-		Complexity:     complexity,
-		Objects:        objects,
-		Blocked:        blocked,
-		ReactiveActive: s.ecu.OverrideActive(),
+		Cycle:          fr.cycle,
+		TimeMs:         fr.t0.Seconds() * 1000,
+		PosX:           fr.st.Pos.X,
+		PosY:           fr.st.Pos.Y,
+		Speed:          fr.st.Speed,
+		SensingMs:      ms(fr.d.Sensing),
+		PerceptionMs:   ms(fr.d.Perception),
+		PlanningMs:     ms(fr.d.Planning),
+		TcompMs:        ms(fr.d.Tcomp),
+		Complexity:     fr.complexity,
+		Objects:        fr.objects,
+		Blocked:        fr.blocked,
+		ReactiveActive: fr.overrideActive,
+		InFlight:       fr.inflight,
 	})
 }

@@ -73,6 +73,9 @@ type Detector struct {
 	Config Config
 	World  *world.World
 	rng    *sim.RNG
+	// truth is the visibility scratch; a detector processes one frame at a
+	// time (in the pipelined SoV, on the perceive-stage goroutine).
+	truth []world.Detection
 
 	frames int
 	missed int
@@ -86,11 +89,18 @@ func New(cfg Config, w *world.World, rng *sim.RNG) *Detector {
 
 // Detect returns the detections for a frame captured at time t from pose.
 func (d *Detector) Detect(t time.Duration, pose world.Pose) []Object {
+	return d.DetectInto(nil, t, pose)
+}
+
+// DetectInto appends the frame's detections to dst (reusing its capacity)
+// and returns it — the zero-allocation variant of Detect for a recycled
+// per-frame buffer. RNG draw order is identical to Detect.
+func (d *Detector) DetectInto(dst []Object, t time.Duration, pose world.Pose) []Object {
 	d.frames++
 	cfg := d.Config
-	truth := d.World.VisibleObstacles(pose, t, cfg.MaxRange, cfg.FOV)
-	out := make([]Object, 0, len(truth))
-	for _, det := range truth {
+	d.truth = d.World.VisibleObstaclesInto(d.truth[:0], pose, t, cfg.MaxRange, cfg.FOV)
+	out := dst
+	for _, det := range d.truth {
 		p := cfg.Recall * (1 - det.Range/cfg.MaxRange*0.5)
 		if !d.rng.Bernoulli(p) {
 			d.missed++

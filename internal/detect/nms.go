@@ -71,37 +71,45 @@ func minf(a, b float32) float32 {
 // cell count, so tile-ordered output is identical for any worker count.
 const decodeGrain = 256
 
+// decodeBox scores one grid cell: score = objectness × best class score.
+func decodeBox(c nn.GridBox) BBox {
+	bestC, bestS := 0, float32(0)
+	for i, s := range c.ClassScores {
+		if s > bestS {
+			bestS = s
+			bestC = i
+		}
+	}
+	return BBox{
+		X0:    clamp01(c.CX - c.W/2),
+		Y0:    clamp01(c.CY - c.H/2),
+		X1:    clamp01(c.CX + c.W/2),
+		Y1:    clamp01(c.CY + c.H/2),
+		Score: c.Objectness * bestS,
+		Class: bestC,
+	}
+}
+
 // DecodeGrid converts raw YOLO-grid cells into boxes above the objectness
 // threshold, with score = objectness × best class score. Cells score
 // independently; tiles fill ordered buckets that concatenate back into the
 // serial scan order.
 func DecodeGrid(cells []nn.GridBox, objThreshold float32) []BBox {
-	decode := func(c nn.GridBox) BBox {
-		bestC, bestS := 0, float32(0)
-		for i, s := range c.ClassScores {
-			if s > bestS {
-				bestS = s
-				bestC = i
-			}
-		}
-		return BBox{
-			X0:    clamp01(c.CX - c.W/2),
-			Y0:    clamp01(c.CY - c.H/2),
-			X1:    clamp01(c.CX + c.W/2),
-			Y1:    clamp01(c.CY + c.H/2),
-			Score: c.Objectness * bestS,
-			Class: bestC,
-		}
-	}
+	return DecodeGridInto(make([]BBox, 0, 16), cells, objThreshold)
+}
+
+// DecodeGridInto appends the decoded boxes to dst (reusing its capacity)
+// and returns it — the zero-allocation variant of DecodeGrid for a
+// recycled per-frame buffer. Output order matches DecodeGrid exactly.
+func DecodeGridInto(dst []BBox, cells []nn.GridBox, objThreshold float32) []BBox {
 	if parallel.Workers() <= 1 || len(cells) < 2*decodeGrain {
-		out := make([]BBox, 0, 16)
 		for _, c := range cells {
 			if c.Objectness < objThreshold {
 				continue
 			}
-			out = append(out, decode(c))
+			dst = append(dst, decodeBox(c))
 		}
-		return out
+		return dst
 	}
 	buckets := make([][]BBox, parallel.Tiles(len(cells), decodeGrain))
 	parallel.ForTiled(len(cells), decodeGrain, func(tile, i0, i1 int) {
@@ -110,15 +118,14 @@ func DecodeGrid(cells []nn.GridBox, objThreshold float32) []BBox {
 			if c.Objectness < objThreshold {
 				continue
 			}
-			out = append(out, decode(c))
+			out = append(out, decodeBox(c))
 		}
 		buckets[tile] = out
 	})
-	out := make([]BBox, 0, 16)
 	for _, b := range buckets {
-		out = append(out, b...)
+		dst = append(dst, b...)
 	}
-	return out
+	return dst
 }
 
 // NMS performs class-aware greedy non-maximum suppression: boxes are taken
@@ -129,6 +136,39 @@ func NMS(boxes []BBox, iouThreshold float32) []BBox {
 	copy(sorted, boxes)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
 	var kept []BBox
+	for _, b := range sorted {
+		ok := true
+		for _, k := range kept {
+			if k.Class == b.Class && IoU(k, b) > iouThreshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
+
+// NMSInto is the reusing variant of NMS: kept boxes append to dst and the
+// score-ordering pass borrows *scratch (both grown as needed and handed
+// back). The sort is an insertion sort — stable, like NMS's
+// sort.SliceStable, so the output is byte-identical — and allocation-free
+// once the scratch has warmed to the working-set size.
+func NMSInto(dst, boxes []BBox, iouThreshold float32, scratch *[]BBox) []BBox {
+	sorted := append((*scratch)[:0], boxes...)
+	*scratch = sorted
+	for i := 1; i < len(sorted); i++ {
+		b := sorted[i]
+		j := i
+		for j > 0 && sorted[j-1].Score < b.Score {
+			sorted[j] = sorted[j-1]
+			j--
+		}
+		sorted[j] = b
+	}
+	kept := dst
 	for _, b := range sorted {
 		ok := true
 		for _, k := range kept {

@@ -92,6 +92,88 @@ func SpatialSync(cfg SpatialSyncConfig, dets []detect.Object, tracks []track.Rad
 	return matches, unmatchedDets, unmatchedTracks
 }
 
+type syncCand struct {
+	di, ti int
+	d      float64
+}
+
+// SyncScratch holds the matcher's per-frame working buffers so a control
+// loop can run spatial synchronization every cycle without allocating.
+// The slices returned by SpatialSyncInto alias these buffers and stay
+// valid until the next call with the same scratch.
+type SyncScratch struct {
+	cands           []syncCand
+	usedD, usedT    []bool
+	matches         []Match
+	unmatchedDets   []detect.Object
+	unmatchedTracks []track.RadarTrack
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// SpatialSyncInto is the reusing variant of SpatialSync. The candidate sort
+// is an insertion sort on the matching cost — deterministic (and stable,
+// which sort.Slice does not guarantee on ties), so results are reproducible
+// bit-for-bit across runs and worker counts.
+func (sc *SyncScratch) SpatialSyncInto(cfg SpatialSyncConfig, dets []detect.Object, tracks []track.RadarTrack) (matches []Match, unmatchedDets []detect.Object, unmatchedTracks []track.RadarTrack) {
+	cands := sc.cands[:0]
+	for di, d := range dets {
+		// Detection position is camera-relative; shift to vehicle frame.
+		dPos := d.Pos.Add(cfg.CameraMount)
+		for ti, tr := range tracks {
+			// Track position is radar-relative; shift to vehicle frame.
+			tPos := tr.Pos.Add(cfg.RadarMount)
+			dist := dPos.DistTo(tPos)
+			if dist <= cfg.MaxDistance {
+				cands = append(cands, syncCand{di: di, ti: ti, d: dist})
+			}
+		}
+	}
+	sc.cands = cands
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i
+		for j > 0 && cands[j-1].d > c.d {
+			cands[j] = cands[j-1]
+			j--
+		}
+		cands[j] = c
+	}
+	sc.usedD = growBools(sc.usedD, len(dets))
+	sc.usedT = growBools(sc.usedT, len(tracks))
+	sc.matches = sc.matches[:0]
+	sc.unmatchedDets = sc.unmatchedDets[:0]
+	sc.unmatchedTracks = sc.unmatchedTracks[:0]
+	for _, c := range cands {
+		if sc.usedD[c.di] || sc.usedT[c.ti] {
+			continue
+		}
+		sc.usedD[c.di] = true
+		sc.usedT[c.ti] = true
+		sc.matches = append(sc.matches, Match{Detection: dets[c.di], Track: tracks[c.ti], Distance: c.d})
+	}
+	for i, d := range dets {
+		if !sc.usedD[i] {
+			sc.unmatchedDets = append(sc.unmatchedDets, d)
+		}
+	}
+	for i, tr := range tracks {
+		if !sc.usedT[i] {
+			sc.unmatchedTracks = append(sc.unmatchedTracks, tr)
+		}
+	}
+	return sc.matches, sc.unmatchedDets, sc.unmatchedTracks
+}
+
 // FusedObject is the perception output after spatial synchronization: the
 // vision detection's class and position with the radar track's velocity.
 type FusedObject struct {
@@ -108,14 +190,19 @@ type FusedObject struct {
 // matched objects carry radar velocity; unmatched detections fall back to
 // vision (velocity unknown, flagged for the KCF fallback path).
 func FuseAll(matches []Match, unmatchedDets []detect.Object) []FusedObject {
-	out := make([]FusedObject, 0, len(matches)+len(unmatchedDets))
+	return FuseAllInto(make([]FusedObject, 0, len(matches)+len(unmatchedDets)), matches, unmatchedDets)
+}
+
+// FuseAllInto appends the perception output to dst (reusing its capacity)
+// and returns it — the zero-allocation variant of FuseAll.
+func FuseAllInto(dst []FusedObject, matches []Match, unmatchedDets []detect.Object) []FusedObject {
 	for _, m := range matches {
-		out = append(out, FusedObject{Object: m.Detection, Velocity: m.Track.Vel, FromRadar: true})
+		dst = append(dst, FusedObject{Object: m.Detection, Velocity: m.Track.Vel, FromRadar: true})
 	}
 	for _, d := range unmatchedDets {
-		out = append(out, FusedObject{Object: d})
+		dst = append(dst, FusedObject{Object: d})
 	}
-	return out
+	return dst
 }
 
 // ClosingSpeed returns the component of the fused object's velocity toward

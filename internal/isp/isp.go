@@ -69,10 +69,16 @@ type Trace struct {
 
 // Deliver draws the traversal latency of one frame through the pipeline.
 func (p Pipeline) Deliver(rng *sim.RNG) Trace {
-	t := Trace{Delays: make([]time.Duration, len(p.Stages))}
-	for i, s := range p.Stages {
+	return p.DeliverInto(make([]time.Duration, 0, len(p.Stages)), rng)
+}
+
+// DeliverInto is Deliver writing the per-stage breakdown into a reused
+// buffer (truncated, then appended to), so per-frame draws don't allocate.
+func (p Pipeline) DeliverInto(delays []time.Duration, rng *sim.RNG) Trace {
+	t := Trace{Delays: delays[:0]}
+	for _, s := range p.Stages {
 		d := s.StageDelay(rng)
-		t.Delays[i] = d
+		t.Delays = append(t.Delays, d)
 		t.Total += d
 	}
 	return t

@@ -31,7 +31,20 @@ func DefaultPixelPipeline() PixelPipelineConfig {
 
 // Process runs the chain, returning a new image.
 func (c PixelPipelineConfig) Process(in *vision.Image) *vision.Image {
-	out := in.Clone()
+	out := vision.NewImage(in.W, in.H)
+	blur := vision.NewImage(in.W, in.H)
+	c.ProcessInto(out, blur, in)
+	return out
+}
+
+// ProcessInto runs the chain writing into out, using blur as blur scratch;
+// both must match in's dimensions and may hold stale frames on entry. This
+// is the zero-allocation variant of Process for recycled frame buffers.
+func (c PixelPipelineConfig) ProcessInto(out, blur *vision.Image, in *vision.Image) {
+	if out.W != in.W || out.H != in.H || blur.W != in.W || blur.H != in.H {
+		panic("isp: ProcessInto buffer dimensions do not match input")
+	}
+	copy(out.Pix, in.Pix)
 	// Black level.
 	if c.BlackLevel != 0 {
 		for i, v := range out.Pix {
@@ -44,7 +57,7 @@ func (c PixelPipelineConfig) Process(in *vision.Image) *vision.Image {
 	}
 	// Denoise: blend with a 3x3 box blur.
 	if c.DenoiseStrength > 0 {
-		blur := boxBlur3(out)
+		boxBlur3Into(blur, out)
 		a := c.DenoiseStrength
 		for i := range out.Pix {
 			out.Pix[i] = out.Pix[i]*(1-a) + blur.Pix[i]*a
@@ -62,7 +75,7 @@ func (c PixelPipelineConfig) Process(in *vision.Image) *vision.Image {
 	}
 	// Unsharp mask.
 	if c.SharpenAmount > 0 {
-		blur := boxBlur3(out)
+		boxBlur3Into(blur, out)
 		for i := range out.Pix {
 			v := out.Pix[i] + (out.Pix[i]-blur.Pix[i])*c.SharpenAmount
 			if v < 0 {
@@ -74,12 +87,10 @@ func (c PixelPipelineConfig) Process(in *vision.Image) *vision.Image {
 			out.Pix[i] = v
 		}
 	}
-	return out
 }
 
-// boxBlur3 is a 3x3 mean filter with border clamping.
-func boxBlur3(im *vision.Image) *vision.Image {
-	out := vision.NewImage(im.W, im.H)
+// boxBlur3Into writes a 3x3 mean filter of im into out (border clamped).
+func boxBlur3Into(out, im *vision.Image) {
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			var s float32
@@ -91,5 +102,4 @@ func boxBlur3(im *vision.Image) *vision.Image {
 			out.Set(x, y, s/9)
 		}
 	}
-	return out
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"sov/internal/parallel"
 )
@@ -30,6 +31,52 @@ func NewTensor(c, h, w int) *Tensor {
 		panic(fmt.Sprintf("nn: invalid tensor shape %dx%dx%d", c, h, w))
 	}
 	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// tensorData recycles activation storage through a size-classed free list;
+// tensorHeaders recycles the Tensor headers themselves, so a pooled forward
+// pass reaches a true zero-allocation steady state.
+var (
+	tensorData    parallel.SlicePool[float32]
+	tensorHeaders struct {
+		mu   sync.Mutex
+		free []*Tensor
+	}
+)
+
+// GetTensor returns a pooled tensor of the given shape with unspecified
+// contents; pair with PutTensor. Layers that write every output element
+// (conv, pool) can consume it directly.
+func GetTensor(c, h, w int) *Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%dx%d", c, h, w))
+	}
+	tensorHeaders.mu.Lock()
+	var t *Tensor
+	if n := len(tensorHeaders.free); n > 0 {
+		t = tensorHeaders.free[n-1]
+		tensorHeaders.free[n-1] = nil
+		tensorHeaders.free = tensorHeaders.free[:n-1]
+	}
+	tensorHeaders.mu.Unlock()
+	if t == nil {
+		t = &Tensor{}
+	}
+	t.C, t.H, t.W = c, h, w
+	t.Data = tensorData.Get(c * h * w)
+	return t
+}
+
+// PutTensor releases a tensor obtained from GetTensor back to the pools.
+func PutTensor(t *Tensor) {
+	if t == nil || t.Data == nil {
+		return
+	}
+	tensorData.Put(t.Data)
+	t.Data = nil
+	tensorHeaders.mu.Lock()
+	tensorHeaders.free = append(tensorHeaders.free, t)
+	tensorHeaders.mu.Unlock()
 }
 
 // At returns element (c, y, x).
@@ -50,6 +97,16 @@ type Layer interface {
 	// OutShape gives the output shape for an input shape.
 	OutShape(c, h, w int) (int, int, int)
 	Name() string
+}
+
+// IntoLayer is implemented by layers that can write into a caller-provided
+// output tensor, enabling the pooled (allocation-free) forward path.
+type IntoLayer interface {
+	Layer
+	// ForwardInto computes the layer output into out, which must have the
+	// layer's OutShape for the input. Every output element is written, so
+	// out may hold stale values on entry.
+	ForwardInto(in, out *Tensor)
 }
 
 // Conv2D is a stride-s same/valid 2-D convolution with bias and optional
@@ -95,20 +152,36 @@ func (c *Conv2D) FLOPs(_, h, w int) int64 {
 
 // Forward implements Layer.
 func (c *Conv2D) Forward(in *Tensor) *Tensor {
+	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
+	out := NewTensor(oc, oh, ow)
+	c.ForwardInto(in, out)
+	return out
+}
+
+// ForwardInto implements IntoLayer. Output channels are independent; with
+// more than one worker they fan out across the pool. Each output element
+// keeps its serial accumulation order, so the tensor is byte-identical for
+// any worker count. The serial path skips the fan-out closure entirely,
+// keeping the pooled forward pass allocation-free.
+func (c *Conv2D) ForwardInto(in, out *Tensor) {
 	if in.C != c.InC {
 		panic(fmt.Sprintf("nn: conv input channels %d != %d", in.C, c.InC))
 	}
 	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
-	out := NewTensor(oc, oh, ow)
-	// Output channels are independent; fan them out across the pool. Each
-	// output element keeps its serial accumulation order, so the tensor is
-	// byte-identical for any worker count.
+	if out.C != oc || out.H != oh || out.W != ow {
+		panic(fmt.Sprintf("nn: conv output shape %dx%dx%d != %dx%dx%d", out.C, out.H, out.W, oc, oh, ow))
+	}
+	if parallel.Workers() <= 1 {
+		for o := 0; o < oc; o++ {
+			c.forwardChannel(in, out, o, oh, ow)
+		}
+		return
+	}
 	parallel.For(oc, 1, func(o0, o1 int) {
 		for o := o0; o < o1; o++ {
 			c.forwardChannel(in, out, o, oh, ow)
 		}
 	})
-	return out
 }
 
 // forwardChannel computes one output channel of the convolution.
@@ -160,12 +233,26 @@ func (MaxPool2) FLOPs(c, h, w int) int64 { return int64(c) * int64(h/2) * int64(
 // Forward implements Layer.
 func (MaxPool2) Forward(in *Tensor) *Tensor {
 	out := NewTensor(in.C, in.H/2, in.W/2)
+	MaxPool2{}.ForwardInto(in, out)
+	return out
+}
+
+// ForwardInto implements IntoLayer.
+func (MaxPool2) ForwardInto(in, out *Tensor) {
+	if out.C != in.C || out.H != in.H/2 || out.W != in.W/2 {
+		panic(fmt.Sprintf("nn: pool output shape %dx%dx%d != %dx%dx%d", out.C, out.H, out.W, in.C, in.H/2, in.W/2))
+	}
+	if parallel.Workers() <= 1 {
+		for c := 0; c < in.C; c++ {
+			poolChannel(in, out, c)
+		}
+		return
+	}
 	parallel.For(in.C, 1, func(c0, c1 int) {
 		for c := c0; c < c1; c++ {
 			poolChannel(in, out, c)
 		}
 	})
-	return out
 }
 
 // poolChannel max-pools one channel.
@@ -199,6 +286,34 @@ func (n *Network) Forward(in *Tensor) *Tensor {
 		t = l.Forward(t)
 	}
 	return t
+}
+
+// ForwardPooled runs the stack with every intermediate activation borrowed
+// from the tensor pools, so a warm steady state allocates nothing. The
+// result is byte-identical to Forward. The returned tensor is pooled —
+// release it with PutTensor when done (unless it is the input itself, which
+// is returned unchanged for an empty stack).
+func (n *Network) ForwardPooled(in *Tensor) *Tensor {
+	cur := in
+	for _, l := range n.Layers {
+		il, ok := l.(IntoLayer)
+		if !ok {
+			next := l.Forward(cur)
+			if cur != in {
+				PutTensor(cur)
+			}
+			cur = next
+			continue
+		}
+		c, h, w := l.OutShape(cur.C, cur.H, cur.W)
+		out := GetTensor(c, h, w)
+		il.ForwardInto(cur, out)
+		if cur != in {
+			PutTensor(cur)
+		}
+		cur = out
+	}
+	return cur
 }
 
 // TotalFLOPs estimates the MAC work for an input shape.

@@ -60,32 +60,76 @@ func FromImage(im *vision.Image) *Tensor {
 	return t
 }
 
+// FromImageInto copies a vision.Image into t, which must be 1×H×W — the
+// zero-allocation counterpart of FromImage for pooled input tensors.
+func FromImageInto(im *vision.Image, t *Tensor) {
+	if t.C != 1 || t.H != im.H || t.W != im.W {
+		panic("nn: FromImageInto shape mismatch")
+	}
+	copy(t.Data, im.Pix)
+}
+
 // Infer runs the full forward pass and decodes the grid. Grid cells decode
 // independently into fixed slots, so the decode fans out row-parallel with
 // the same row-major output order as a serial scan.
 func (y *YOLOHead) Infer(in *Tensor) []GridBox {
-	feat := y.Backbone.Forward(in)
-	raw := y.Head.Forward(feat)
-	out := make([]GridBox, raw.H*raw.W)
-	parallel.ForRows(raw.H, func(g0, g1 int) {
-		for gy := g0; gy < g1; gy++ {
+	return y.InferInto(in, nil)
+}
+
+// InferInto is the reusing variant of Infer: the forward pass borrows every
+// intermediate activation from the tensor pools and the decode writes into
+// out's slots, keeping their ClassScores backing arrays. Pass the previous
+// cycle's slice back in and a warm steady state allocates nothing. Results
+// are byte-identical to a fresh Infer.
+func (y *YOLOHead) InferInto(in *Tensor, out []GridBox) []GridBox {
+	feat := y.Backbone.ForwardPooled(in)
+	oc, oh, ow := y.Head.OutShape(feat.C, feat.H, feat.W)
+	raw := GetTensor(oc, oh, ow)
+	y.Head.ForwardInto(feat, raw)
+	if feat != in {
+		PutTensor(feat)
+	}
+	n := raw.H * raw.W
+	if cap(out) < n {
+		grown := make([]GridBox, n)
+		copy(grown, out) // keep already-allocated ClassScores backing arrays
+		out = grown
+	}
+	out = out[:n]
+	if parallel.Workers() <= 1 {
+		for gy := 0; gy < raw.H; gy++ {
 			for gx := 0; gx < raw.W; gx++ {
-				b := GridBox{
-					Objectness:  Sigmoid(raw.At(0, gy, gx)),
-					CX:          (float32(gx) + Sigmoid(raw.At(1, gy, gx))) / float32(raw.W),
-					CY:          (float32(gy) + Sigmoid(raw.At(2, gy, gx))) / float32(raw.H),
-					W:           Sigmoid(raw.At(3, gy, gx)),
-					H:           Sigmoid(raw.At(4, gy, gx)),
-					ClassScores: make([]float32, y.Classes),
-				}
-				for c := 0; c < y.Classes; c++ {
-					b.ClassScores[c] = Sigmoid(raw.At(5+c, gy, gx))
-				}
-				out[gy*raw.W+gx] = b
+				y.decodeCell(raw, gy, gx, &out[gy*raw.W+gx])
 			}
 		}
-	})
+	} else {
+		parallel.ForRows(raw.H, func(g0, g1 int) {
+			for gy := g0; gy < g1; gy++ {
+				for gx := 0; gx < raw.W; gx++ {
+					y.decodeCell(raw, gy, gx, &out[gy*raw.W+gx])
+				}
+			}
+		})
+	}
+	PutTensor(raw)
 	return out
+}
+
+// decodeCell decodes one grid cell into b, reusing its ClassScores array
+// when large enough.
+func (y *YOLOHead) decodeCell(raw *Tensor, gy, gx int, b *GridBox) {
+	b.Objectness = Sigmoid(raw.At(0, gy, gx))
+	b.CX = (float32(gx) + Sigmoid(raw.At(1, gy, gx))) / float32(raw.W)
+	b.CY = (float32(gy) + Sigmoid(raw.At(2, gy, gx))) / float32(raw.H)
+	b.W = Sigmoid(raw.At(3, gy, gx))
+	b.H = Sigmoid(raw.At(4, gy, gx))
+	if cap(b.ClassScores) < y.Classes {
+		b.ClassScores = make([]float32, y.Classes)
+	}
+	b.ClassScores = b.ClassScores[:y.Classes]
+	for c := 0; c < y.Classes; c++ {
+		b.ClassScores[c] = Sigmoid(raw.At(5+c, gy, gx))
+	}
 }
 
 // TotalFLOPs returns the MAC estimate of one forward pass.

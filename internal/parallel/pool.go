@@ -109,6 +109,64 @@ func PutC128(s []complex128) {
 	c128pool.classes[c].Put(&full)
 }
 
+// SlicePool is a size-classed free list for frame-rate scratch slices (NN
+// activation tensors, ICP correspondence buffers, fused-object lists). The
+// sync.Pool-backed Get*/Put* helpers above are the right tool for per-tile
+// scratch inside a parallel kernel — contention-free, GC-aware — but their
+// Put boxes the slice header, costing one small allocation per call. A
+// SlicePool trades a mutex for a true zero-allocation steady state: Get pops
+// a free slice and Put pushes it back with no boxing, so a control loop that
+// borrows a few buffers per frame allocates nothing once warm. Returned
+// slices have the requested length and unspecified contents.
+type SlicePool[T any] struct {
+	mu      sync.Mutex
+	classes [poolClasses][][]T
+	hits    int64
+	misses  int64
+}
+
+// Get returns a slice of length n (contents unspecified, capacity the
+// enclosing power of two).
+func (p *SlicePool[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	p.mu.Lock()
+	if free := p.classes[c]; len(free) > 0 {
+		s := free[len(free)-1]
+		free[len(free)-1] = nil
+		p.classes[c] = free[:len(free)-1]
+		p.hits++
+		p.mu.Unlock()
+		return s[:n]
+	}
+	p.misses++
+	p.mu.Unlock()
+	return make([]T, n, 1<<c)
+}
+
+// Put returns a slice obtained from Get to its size class for reuse.
+func (p *SlicePool[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) {
+		c-- // cap is not a power of two: file under the floor class
+	}
+	p.mu.Lock()
+	p.classes[c] = append(p.classes[c], s[:cap(s)])
+	p.mu.Unlock()
+}
+
+// Stats reports reuse hits and construction misses since creation.
+func (p *SlicePool[T]) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
 type intPools struct{ classes [poolClasses]sync.Pool }
 
 var intpool intPools

@@ -1,0 +1,214 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingFIFOOrder(t *testing.T) {
+	r := NewRing[int](4)
+	go func() {
+		for i := 0; i < 100; i++ {
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	for want := 0; want < 100; want++ {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop %d: got %d ok=%v", want, got, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop after close+drain should report closed")
+	}
+}
+
+func TestRingBackpressureBlocksProducer(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	r.Push(2)
+	pushed := make(chan struct{})
+	go func() {
+		r.Push(3) // must block until a Pop frees a slot
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push succeeded on a full ring")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("pop = %d, %v", v, ok)
+	}
+	select {
+	case <-pushed:
+	case <-time.After(time.Second):
+		t.Fatal("push did not resume after a slot freed")
+	}
+	if s := r.Stats(); s.FullStalls != 1 {
+		t.Fatalf("full stalls = %d, want 1", s.FullStalls)
+	}
+}
+
+func TestRingCloseUnblocksBothSides(t *testing.T) {
+	r := NewRing[int](1)
+	r.Push(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); r.Push(2) }() // blocked: full
+	go func() { defer wg.Done(); r.Pop(); r.Pop(); r.Pop() }()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close left a goroutine blocked")
+	}
+}
+
+func TestFramePoolRecycles(t *testing.T) {
+	type frame struct{ buf []int }
+	resets := 0
+	p := NewFramePool(
+		func() *frame { return &frame{buf: make([]int, 0, 8)} },
+		func(f *frame) { f.buf = f.buf[:0]; resets++ },
+	)
+	a := p.Get()
+	a.buf = append(a.buf, 1, 2, 3)
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("pool did not recycle the returned frame")
+	}
+	if len(b.buf) != 0 || cap(b.buf) != 8 {
+		t.Fatalf("reset failed: len=%d cap=%d", len(b.buf), cap(b.buf))
+	}
+	if resets != 1 {
+		t.Fatalf("resets = %d", resets)
+	}
+	c := p.Get()
+	if c == b {
+		t.Fatal("pool returned a frame still in use")
+	}
+	st := p.Stats()
+	if st.News != 2 || st.Reuses != 1 {
+		t.Fatalf("stats = %+v, want 2 news 1 reuse", st)
+	}
+}
+
+// TestRuntimeOrderedHandOff proves the determinism backbone: frames pass
+// through every stage in submission order, whatever the stage timings.
+func TestRuntimeOrderedHandOff(t *testing.T) {
+	type frame struct {
+		id   int
+		seen []string
+	}
+	var mu sync.Mutex
+	var order []int
+	rt := NewRuntime(2,
+		Stage[frame]{Name: "a", Fn: func(f *frame) {
+			if f.id%3 == 0 {
+				time.Sleep(time.Millisecond) // jitter must not reorder
+			}
+			f.seen = append(f.seen, "a")
+		}},
+		Stage[frame]{Name: "b", Fn: func(f *frame) {
+			f.seen = append(f.seen, "b")
+			mu.Lock()
+			order = append(order, f.id)
+			mu.Unlock()
+		}},
+	)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !rt.Submit(&frame{id: i}) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	rt.Drain()
+	rt.Stop()
+	if len(order) != n {
+		t.Fatalf("completed %d frames, want %d", len(order), n)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("frame %d completed out of order (slot %d)", id, i)
+		}
+	}
+	stats := rt.Stats()
+	if len(stats) != 2 || stats[0].Frames != n || stats[1].Frames != n {
+		t.Fatalf("stage stats = %+v", stats)
+	}
+}
+
+func TestRuntimeDrainWaitsForInFlight(t *testing.T) {
+	release := make(chan struct{})
+	var done int64
+	var mu sync.Mutex
+	rt := NewRuntime(1, Stage[int]{Name: "slow", Fn: func(*int) {
+		<-release
+		mu.Lock()
+		done++
+		mu.Unlock()
+	}})
+	v := 0
+	rt.Submit(&v)
+	drained := make(chan struct{})
+	go func() { rt.Drain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with a frame in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(time.Second):
+		t.Fatal("Drain never returned")
+	}
+	rt.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if done != 1 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestRuntimeSubmitAfterStopRejected(t *testing.T) {
+	rt := NewRuntime(1, Stage[int]{Name: "s", Fn: func(*int) {}})
+	rt.Stop()
+	v := 0
+	if rt.Submit(&v) {
+		t.Fatal("submit after Stop succeeded")
+	}
+	rt.Drain() // must not hang on the rejected frame
+}
+
+// TestPipelineSteadyStateAllocs verifies the runtime itself adds no per-frame
+// allocations once warm: recycled frames flow through without any new memory.
+func TestPipelineSteadyStateAllocs(t *testing.T) {
+	type frame struct{ payload [64]byte }
+	pool := NewFramePool(func() *frame { return new(frame) }, nil)
+	rt := NewRuntime(2,
+		Stage[frame]{Name: "a", Fn: func(f *frame) { f.payload[0]++ }},
+		Stage[frame]{Name: "b", Fn: func(f *frame) { f.payload[1]++ }},
+	)
+	defer rt.Stop()
+	cycle := func() {
+		f := pool.Get()
+		rt.Submit(f)
+		rt.Drain()
+		pool.Put(f)
+	}
+	for i := 0; i < 16; i++ {
+		cycle() // warm the pool and rings
+	}
+	avg := testing.AllocsPerRun(200, cycle)
+	if avg > 0.1 {
+		t.Fatalf("steady-state pipeline allocates %.2f allocs/cycle, want 0", avg)
+	}
+}

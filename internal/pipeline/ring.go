@@ -1,0 +1,123 @@
+package pipeline
+
+import "sync"
+
+// Ring is a bounded FIFO queue used as the hand-off between two pipeline
+// stages. It is designed for single-producer/single-consumer use (one
+// goroutine pushing, one popping), though the mutex keeps it safe under any
+// access pattern. Push blocks while the ring is full — that is the
+// pipeline's backpressure: a fast upstream stage is paced by the slowest
+// stage downstream instead of queuing unboundedly.
+type Ring[T any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []T
+	head     int
+	n        int
+	closed   bool
+
+	pushes    int64
+	occSum    int64
+	occMax    int
+	fullStall int64
+}
+
+// NewRing returns a ring holding at most capacity elements.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	r := &Ring[T]{buf: make([]T, capacity)}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// Push appends v, blocking while the ring is full. It returns false when the
+// ring has been closed (v is dropped).
+func (r *Ring[T]) Push(v T) bool {
+	r.mu.Lock()
+	if r.n == len(r.buf) && !r.closed {
+		r.fullStall++
+		for r.n == len(r.buf) && !r.closed {
+			r.notFull.Wait()
+		}
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.pushes++
+	r.occSum += int64(r.n)
+	if r.n > r.occMax {
+		r.occMax = r.n
+	}
+	r.notEmpty.Signal()
+	r.mu.Unlock()
+	return true
+}
+
+// Pop removes the oldest element, blocking while the ring is empty. The
+// second result is false once the ring is closed and drained.
+func (r *Ring[T]) Pop() (T, bool) {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	var zero T
+	if r.n == 0 {
+		r.mu.Unlock()
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.notFull.Signal()
+	r.mu.Unlock()
+	return v, true
+}
+
+// Close marks the ring closed: pending Pops drain the remaining elements and
+// then return false; blocked and future Pushes return false.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+}
+
+// Len returns the current occupancy.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// RingStats summarizes a ring's traffic: mean/max occupancy observed at push
+// time and how often a push had to stall on a full ring (backpressure
+// events).
+type RingStats struct {
+	Pushes     int64
+	MeanOcc    float64
+	MaxOcc     int
+	FullStalls int64
+}
+
+// Stats returns the ring's traffic counters.
+func (r *Ring[T]) Stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RingStats{Pushes: r.pushes, MaxOcc: r.occMax, FullStalls: r.fullStall}
+	if r.pushes > 0 {
+		s.MeanOcc = float64(r.occSum) / float64(r.pushes)
+	}
+	return s
+}

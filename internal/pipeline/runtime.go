@@ -1,0 +1,168 @@
+// Package pipeline is the staged dataflow runtime behind the SoV control
+// loop: bounded single-producer/single-consumer ring queues between
+// per-stage goroutines, a recycling frame pool, and per-stage occupancy and
+// latency counters. The paper's computing system overlaps sensing,
+// perception, and planning so throughput is set by the slowest stage rather
+// than the sum of stages (Eq. 1 charges only the critical path); this
+// package provides that overlap as a reusable substrate.
+//
+// Determinism contract: every stage runs on exactly one goroutine and the
+// rings are FIFO, so frames traverse each stage in submission order. A
+// stage function that is deterministic in (its own state, the frame) — the
+// detector's forked RNG stream, the tracker's filter state, the MPC warm
+// start — therefore produces byte-identical results whether the stages
+// overlap or run inline. Wall-clock stage statistics are diagnostic only
+// and excluded from that contract.
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage is one pipeline step: a name for reporting and the function applied
+// to every frame. Fn runs on the stage's single goroutine.
+type Stage[T any] struct {
+	Name string
+	Fn   func(*T)
+}
+
+// StageStats is one stage's wall-clock profile over a run.
+type StageStats struct {
+	Name string
+	// Frames is the number of frames the stage processed.
+	Frames int64
+	// Busy is the total time spent inside the stage function.
+	Busy time.Duration
+	// Wait is the total time spent blocked on an empty input ring.
+	Wait time.Duration
+	// Queue reports the input ring's traffic (occupancy, backpressure).
+	Queue RingStats
+}
+
+type stageRec struct {
+	mu     sync.Mutex
+	frames int64
+	busy   time.Duration
+	wait   time.Duration
+}
+
+// Runtime drives frames of type *T through an ordered list of stages, one
+// goroutine per stage, with bounded rings in between. Submit hands a frame
+// to the first stage and blocks only when the pipeline is full
+// (backpressure); Drain blocks until every submitted frame has left the
+// last stage; Stop closes the rings and joins the goroutines.
+type Runtime[T any] struct {
+	stages []Stage[T]
+	rings  []*Ring[*T]
+	recs   []stageRec
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	emptied   sync.Cond
+	submitted int64
+	completed int64
+}
+
+// NewRuntime starts the stage goroutines. queueCap bounds each inter-stage
+// ring (minimum 1); at least one stage is required.
+func NewRuntime[T any](queueCap int, stages ...Stage[T]) *Runtime[T] {
+	if len(stages) == 0 {
+		panic("pipeline: NewRuntime needs at least one stage")
+	}
+	r := &Runtime[T]{stages: stages, recs: make([]stageRec, len(stages))}
+	r.emptied.L = &r.mu
+	for range stages {
+		r.rings = append(r.rings, NewRing[*T](queueCap))
+	}
+	for i := range stages {
+		r.wg.Add(1)
+		go r.worker(i)
+	}
+	return r
+}
+
+func (r *Runtime[T]) worker(i int) {
+	defer r.wg.Done()
+	in := r.rings[i]
+	rec := &r.recs[i]
+	for {
+		t0 := time.Now()
+		f, ok := in.Pop()
+		wait := time.Since(t0)
+		if !ok {
+			// Input closed and drained: propagate shutdown downstream.
+			if i+1 < len(r.rings) {
+				r.rings[i+1].Close()
+			}
+			return
+		}
+		t1 := time.Now()
+		r.stages[i].Fn(f)
+		busy := time.Since(t1)
+
+		rec.mu.Lock()
+		rec.frames++
+		rec.busy += busy
+		rec.wait += wait
+		rec.mu.Unlock()
+
+		if i+1 < len(r.rings) {
+			r.rings[i+1].Push(f)
+		} else {
+			r.mu.Lock()
+			r.completed++
+			r.emptied.Broadcast()
+			r.mu.Unlock()
+		}
+	}
+}
+
+// Submit hands a frame to the first stage, blocking while the input ring is
+// full. It returns false after Stop.
+func (r *Runtime[T]) Submit(f *T) bool {
+	r.mu.Lock()
+	r.submitted++
+	r.mu.Unlock()
+	if r.rings[0].Push(f) {
+		return true
+	}
+	r.mu.Lock()
+	r.submitted--
+	r.mu.Unlock()
+	return false
+}
+
+// Drain blocks until every submitted frame has completed the final stage.
+func (r *Runtime[T]) Drain() {
+	r.mu.Lock()
+	for r.completed < r.submitted {
+		r.emptied.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// Stop closes the pipeline and joins the stage goroutines. In-flight frames
+// finish; frames pushed after Stop are rejected.
+func (r *Runtime[T]) Stop() {
+	r.rings[0].Close()
+	r.wg.Wait()
+}
+
+// Stats returns the per-stage wall-clock profile.
+func (r *Runtime[T]) Stats() []StageStats {
+	out := make([]StageStats, len(r.stages))
+	for i := range r.stages {
+		rec := &r.recs[i]
+		rec.mu.Lock()
+		out[i] = StageStats{
+			Name:   r.stages[i].Name,
+			Frames: rec.frames,
+			Busy:   rec.busy,
+			Wait:   rec.wait,
+			Queue:  r.rings[i].Stats(),
+		}
+		rec.mu.Unlock()
+	}
+	return out
+}

@@ -40,6 +40,9 @@ type MPC struct {
 	Cfg MPCConfig
 	// warm-start buffers reused across cycles.
 	accel, steer []float64
+	// traj is the rollout buffer reused across cycles; each Plan's Traj
+	// aliases it and stays valid until the next Plan call.
+	traj []TrajPoint
 }
 
 // NewMPC returns a planner with the given configuration.
@@ -48,6 +51,7 @@ func NewMPC(cfg MPCConfig) *MPC {
 		Cfg:   cfg,
 		accel: make([]float64, cfg.Horizon),
 		steer: make([]float64, cfg.Horizon),
+		traj:  make([]TrajPoint, cfg.Horizon),
 	}
 }
 
@@ -135,7 +139,7 @@ func (m *MPC) Plan(in Input) Plan {
 		}
 	}
 
-	traj := simulate(in, m.accel, m.steer, cfg.Dt)
+	traj := simulateInto(m.traj, in, m.accel, m.steer, cfg.Dt)
 	collides, _ := CollisionCheck(traj, in.Obstacles, 0.5)
 	// Convert the first-step heading rate to a bicycle steering angle:
 	// steer = atan(L * hdot / v).

@@ -100,16 +100,21 @@ func CollisionCheck(traj []TrajPoint, obs []Obstacle, margin float64) (collides 
 // d' = v*sin(heading), heading' = steer rate proxy. The same model backs
 // both planners so their costs are comparable.
 func simulate(in Input, accel, steer []float64, dt float64) []TrajPoint {
-	n := len(accel)
-	traj := make([]TrajPoint, n)
+	return simulateInto(make([]TrajPoint, len(accel)), in, accel, steer, dt)
+}
+
+// simulateInto writes the rollout into dst, which must have len(accel)
+// points — the zero-allocation variant for a planner-owned trajectory
+// buffer.
+func simulateInto(dst []TrajPoint, in Input, accel, steer []float64, dt float64) []TrajPoint {
 	s, d, v, h := 0.0, in.LaneOffset, in.Speed, in.HeadingErr
-	for k := 0; k < n; k++ {
+	for k := range accel {
 		v = mathx.Clamp(v+accel[k]*dt, 0, 12)
 		h += steer[k] * dt
 		h = mathx.Clamp(h, -2.5, 2.5)
 		s += v * math.Cos(h) * dt
 		d += v * math.Sin(h) * dt
-		traj[k] = TrajPoint{T: dt * float64(k+1), S: s, D: d, V: v}
+		dst[k] = TrajPoint{T: dt * float64(k+1), S: s, D: d, V: v}
 	}
-	return traj
+	return dst
 }

@@ -28,31 +28,41 @@ const icpParallelMin = 512
 // byte-identical for any parallelism.
 const icpGrain = 256
 
+// matchPool recycles the per-iteration correspondence buffers: both ICP
+// variants borrow one list per iteration and return it before the next, so
+// a warm localization loop allocates nothing for matches.
+var matchPool parallel.SlicePool[icpMatch]
+
+// icpMatchOne matches one source point against the target tree and appends
+// the accepted correspondence to out. It is a plain function (not a closure
+// over the iteration state) so the serial path stays allocation-free.
+func icpMatchOne(tree *KDTree, src *Cloud, tr Tracker, i int, s, c float64, trans mathx.Vec3, reuse []int, out []icpMatch) []icpMatch {
+	src.access(tr, i)
+	p := src.Pts[i]
+	// Current transform estimate applied to the source point.
+	q := mathx.Vec3{X: c*p.X - s*p.Y + trans.X, Y: s*p.X + c*p.Y + trans.Y, Z: p.Z + trans.Z}
+	j, d2 := tree.nearestInto(q, reuse)
+	if j < 0 || d2 > 4.0 {
+		return out
+	}
+	return append(out, icpMatch{q: q, j: j, d2: d2})
+}
+
 // collectMatches gathers the accepted correspondences of one ICP iteration
 // in source-point order. With no tracker attached the nearest-neighbor
 // searches fan out across the worker pool: each tile owns a scratch reuse
 // counter (merged afterwards — integer adds are exact in any order) and a
 // tile-ordered bucket, so the returned slice matches the serial scan
 // exactly. With a tracker the walk stays serial, preserving the cache
-// simulator's access order.
+// simulator's access order. The returned slice is borrowed from matchPool;
+// callers release it with matchPool.Put once consumed.
 func collectMatches(tree *KDTree, src *Cloud, tr Tracker, subsample int, yaw float64, trans mathx.Vec3) []icpMatch {
 	s, c := math.Sin(yaw), math.Cos(yaw)
-	match := func(i int, reuse []int, out []icpMatch) []icpMatch {
-		src.access(tr, i)
-		p := src.Pts[i]
-		// Current transform estimate applied to the source point.
-		q := mathx.Vec3{X: c*p.X - s*p.Y + trans.X, Y: s*p.X + c*p.Y + trans.Y, Z: p.Z + trans.Z}
-		j, d2 := tree.nearestInto(q, reuse)
-		if j < 0 || d2 > 4.0 {
-			return out
-		}
-		return append(out, icpMatch{q: q, j: j, d2: d2})
-	}
 	m := (src.Len() + subsample - 1) / subsample // candidate count
 	if tr != nil || parallel.Workers() <= 1 || m < icpParallelMin {
-		matches := make([]icpMatch, 0, m)
+		matches := matchPool.Get(m)[:0]
 		for i := 0; i < src.Len(); i += subsample {
-			matches = match(i, tree.Reuse, matches)
+			matches = icpMatchOne(tree, src, tr, i, s, c, trans, tree.Reuse, matches)
 		}
 		return matches
 	}
@@ -62,7 +72,7 @@ func collectMatches(tree *KDTree, src *Cloud, tr Tracker, subsample int, yaw flo
 		reuse := parallel.GetIntsZeroed(tree.cloud.Len())
 		out := make([]icpMatch, 0, k1-k0)
 		for k := k0; k < k1; k++ {
-			out = match(k*subsample, reuse, out)
+			out = icpMatchOne(tree, src, tr, k*subsample, s, c, trans, reuse, out)
 		}
 		buckets[tile] = out
 		mu.Lock()
@@ -74,7 +84,7 @@ func collectMatches(tree *KDTree, src *Cloud, tr Tracker, subsample int, yaw flo
 		mu.Unlock()
 		parallel.PutInts(reuse)
 	})
-	var matches []icpMatch
+	matches := matchPool.Get(m)[:0]
 	for _, b := range buckets {
 		matches = append(matches, b...)
 	}
@@ -106,6 +116,7 @@ func Localize(tree *KDTree, src *Cloud, tr Tracker, iters, subsample int) ICPRes
 		// floating-point association as a single-threaded scan.
 		pairs := collectMatches(tree, src, tr, subsample, yaw, trans)
 		if len(pairs) < 3 {
+			matchPool.Put(pairs)
 			break
 		}
 		var srcCx, srcCy, dstCx, dstCy float64
@@ -135,6 +146,7 @@ func Localize(tree *KDTree, src *Cloud, tr Tracker, iters, subsample int) ICPRes
 			syx += ay * bx
 			syy += ay * by
 		}
+		matchPool.Put(pairs)
 		dyaw := math.Atan2(sxy-syx, sxx+syy)
 		yaw += dyaw
 		sNew, cNew := math.Sin(dyaw), math.Cos(dyaw)
@@ -173,6 +185,7 @@ func LocalizePointToPlane(tree *KDTree, normals []Normal, src *Cloud, tr Tracker
 		// accumulation replays the ordered match list serially.
 		pairs := collectMatches(tree, src, tr, subsample, yaw, trans)
 		if len(pairs) < 6 {
+			matchPool.Put(pairs)
 			break
 		}
 		// Linearized system over (dyaw, tx, ty): for each correspondence,
@@ -197,6 +210,7 @@ func LocalizePointToPlane(tree *KDTree, normals []Normal, src *Cloud, tr Tracker
 			}
 			sse += r * r
 		}
+		matchPool.Put(pairs)
 		am := mathx.MatFromRows([][]float64{
 			{a[0][0] + 1e-9, a[0][1], a[0][2]},
 			{a[1][0], a[1][1] + 1e-9, a[1][2]},

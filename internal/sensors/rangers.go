@@ -83,6 +83,9 @@ type Radar struct {
 	Config RadarConfig
 	World  *world.World
 	rng    *sim.RNG
+	// dets is the unit's visibility scratch; a radar scans from one
+	// goroutine at a time (in the SoV, the simulation-engine thread).
+	dets []world.Detection
 }
 
 // NewRadar returns a radar bound to a world.
@@ -93,12 +96,19 @@ func NewRadar(cfg RadarConfig, w *world.World, rng *sim.RNG) *Radar {
 // ScanAt returns the echo list for a scan from the given pose at time t.
 // A dropout (unstable signal) returns nil even if targets are present.
 func (r *Radar) ScanAt(t time.Duration, pose world.Pose) []RadarReturn {
+	return r.ScanAtInto(nil, t, pose)
+}
+
+// ScanAtInto appends the scan's echoes to dst (reusing its capacity) and
+// returns it — the zero-allocation variant of ScanAt for a recycled buffer.
+// RNG draw order is identical to ScanAt.
+func (r *Radar) ScanAtInto(dst []RadarReturn, t time.Duration, pose world.Pose) []RadarReturn {
 	if r.Config.DropoutProb > 0 && r.rng.Bernoulli(r.Config.DropoutProb) {
-		return nil
+		return dst
 	}
-	dets := r.World.VisibleObstacles(pose, t, r.Config.MaxRange, r.Config.FOV)
-	out := make([]RadarReturn, 0, len(dets))
-	for _, d := range dets {
+	r.dets = r.World.VisibleObstaclesInto(r.dets[:0], pose, t, r.Config.MaxRange, r.Config.FOV)
+	out := dst
+	for _, d := range r.dets {
 		losDir := d.Pos.Sub(pose.Pos)
 		rn := losDir.Norm()
 		if rn == 0 {

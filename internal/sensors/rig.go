@@ -26,10 +26,15 @@ func (m Mount) sensorPose(p world.Pose) world.Pose {
 }
 
 // RadarRig is the deployed 6-radar arrangement: two forward, one per side,
-// two rear (Table I).
+// two rear (Table I). The scratch buffers make a rig single-threaded: scans
+// must stay on one goroutine (in the SoV, the simulation-engine thread,
+// which also keeps the per-unit RNG draw order deterministic).
 type RadarRig struct {
 	Units  []*Radar
 	Mounts []Mount
+
+	unitScratch   []RadarReturn // per-unit echoes, reused across scans
+	sectorScratch []RigReturn   // NearestInSector's merged-scan buffer
 }
 
 // NewRadarRig builds the rig over a world; each unit gets its own RNG
@@ -62,18 +67,25 @@ type RigReturn struct {
 
 // ScanAll scans every unit and merges the returns into the vehicle frame.
 func (r *RadarRig) ScanAll(t time.Duration, pose world.Pose) []RigReturn {
-	var out []RigReturn
+	return r.ScanAllInto(nil, t, pose)
+}
+
+// ScanAllInto appends the merged vehicle-frame returns to dst (reusing its
+// capacity) and returns it — the zero-allocation variant of ScanAll for a
+// recycled buffer. RNG draw order is identical to ScanAll.
+func (r *RadarRig) ScanAllInto(dst []RigReturn, t time.Duration, pose world.Pose) []RigReturn {
 	for i, u := range r.Units {
 		m := r.Mounts[i]
 		sp := m.sensorPose(pose)
-		for _, ret := range u.ScanAt(t, sp) {
+		r.unitScratch = u.ScanAtInto(r.unitScratch[:0], t, sp)
+		for _, ret := range r.unitScratch {
 			// Target position in the vehicle frame: sensor offset plus
 			// the polar return rotated by the mount bearing.
 			rel := mathx.Vec2{
 				X: ret.Range * math.Cos(ret.Bearing),
 				Y: ret.Range * math.Sin(ret.Bearing),
 			}.Rotate(m.Bearing).Add(m.Offset)
-			out = append(out, RigReturn{
+			dst = append(dst, RigReturn{
 				Unit:           m.Name,
 				RadarReturn:    ret,
 				VehicleBearing: rel.Angle(),
@@ -81,7 +93,7 @@ func (r *RadarRig) ScanAll(t time.Duration, pose world.Pose) []RigReturn {
 			})
 		}
 	}
-	return out
+	return dst
 }
 
 // NearestInSector returns the closest vehicle-frame return whose bearing
@@ -91,7 +103,8 @@ func (r *RadarRig) NearestInSector(t time.Duration, pose world.Pose, center, hal
 	best := RigReturn{}
 	found := false
 	bestD := math.Inf(1)
-	for _, ret := range r.ScanAll(t, pose) {
+	r.sectorScratch = r.ScanAllInto(r.sectorScratch[:0], t, pose)
+	for _, ret := range r.sectorScratch {
 		if math.Abs(mathx.WrapAngle(ret.VehicleBearing-center)) > halfWidth {
 			continue
 		}

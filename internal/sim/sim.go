@@ -46,6 +46,9 @@ type Engine struct {
 	queue   eventQueue
 	nextSeq int
 	stopped bool
+	// free recycles fired Event structs so a steady-state event loop does
+	// not allocate per Schedule call.
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -60,7 +63,14 @@ func (e *Engine) Schedule(delay time.Duration, name string, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &Event{At: e.now + delay, Name: name, Fn: fn, seq: e.nextSeq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{At: e.now + delay, Name: name, Fn: fn, seq: e.nextSeq}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 }
@@ -101,7 +111,12 @@ func (e *Engine) Run(horizon time.Duration) int {
 		}
 		ev := heap.Pop(&e.queue).(*Event)
 		e.now = ev.At
-		ev.Fn()
+		fn := ev.Fn
+		// A fired event is referenced by nobody but this loop; recycle it
+		// before running fn (which may Schedule and reuse it immediately).
+		ev.Fn = nil
+		e.free = append(e.free, ev)
+		fn()
 		n++
 	}
 	return n

@@ -33,6 +33,7 @@ type RadarTracker struct {
 
 	tracks []RadarTrack
 	nextID int
+	used   []bool // association scratch, reused across scans
 }
 
 // NewRadarTracker returns a tracker with field-typical gains.
@@ -43,7 +44,22 @@ func NewRadarTracker() *RadarTracker {
 // Observe ingests one radar scan taken at time t and returns the live
 // tracks. Returns are in polar vehicle-frame coordinates.
 func (rt *RadarTracker) Observe(t time.Duration, returns []sensors.RadarReturn) []RadarTrack {
-	used := make([]bool, len(returns))
+	out := make([]RadarTrack, 0, len(rt.tracks)+len(returns))
+	return rt.ObserveInto(t, returns, out)
+}
+
+// ObserveInto is the reusing variant of Observe: the live tracks append to
+// dst (grown as needed) and the association scratch is kept on the tracker,
+// so a warm steady state allocates nothing. Filter updates are identical to
+// Observe.
+func (rt *RadarTracker) ObserveInto(t time.Duration, returns []sensors.RadarReturn, dst []RadarTrack) []RadarTrack {
+	if cap(rt.used) < len(returns) {
+		rt.used = make([]bool, len(returns))
+	}
+	used := rt.used[:len(returns)]
+	for j := range used {
+		used[j] = false
+	}
 	// Update existing tracks with the nearest gated return.
 	for i := range rt.tracks {
 		tr := &rt.tracks[i]
@@ -103,9 +119,7 @@ func (rt *RadarTracker) Observe(t time.Duration, returns []sensors.RadarReturn) 
 		}
 	}
 	rt.tracks = rt.tracks[:n]
-	out := make([]RadarTrack, len(rt.tracks))
-	copy(out, rt.tracks)
-	return out
+	return append(dst, rt.tracks...)
 }
 
 // Confirmed returns tracks with at least minHits associations.

@@ -97,9 +97,22 @@ func textureOctave(u, v float64, seed uint32, texel float64) float32 {
 // Boxes are rendered nearest-last so closer boxes occlude farther ones.
 func (s Scene) Render(intr Intrinsics, baselineOffset float64) *Image {
 	im := NewImage(intr.W, intr.H)
+	var scratch []Box
+	s.RenderInto(im, intr, baselineOffset, &scratch)
+	return im
+}
+
+// RenderInto draws the scene into im, which must be intr.W×intr.H, borrowing
+// *scratch for the depth sort (grown as needed and handed back) — the
+// zero-allocation variant of Render for recycled frame buffers. Every pixel
+// is overwritten, so im may hold a stale frame on entry.
+func (s Scene) RenderInto(im *Image, intr Intrinsics, baselineOffset float64, scratch *[]Box) {
+	if im.W != intr.W || im.H != intr.H {
+		panic("vision: RenderInto image does not match intrinsics")
+	}
 	// Depth-sorted copy, far to near.
-	boxes := make([]Box, len(s.Boxes))
-	copy(boxes, s.Boxes)
+	boxes := append((*scratch)[:0], s.Boxes...)
+	*scratch = boxes
 	for i := 1; i < len(boxes); i++ {
 		for j := i; j > 0 && boxes[j].Z > boxes[j-1].Z; j-- {
 			boxes[j], boxes[j-1] = boxes[j-1], boxes[j]
@@ -128,7 +141,6 @@ func (s Scene) Render(intr Intrinsics, baselineOffset float64) *Image {
 			im.Pix[py*im.W+px] = val
 		}
 	}
-	return im
 }
 
 // RenderStereo renders the left and right views of the scene.

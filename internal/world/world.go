@@ -215,7 +215,15 @@ type Detection struct {
 // VisibleObstacles returns the obstacles within maxRange and ±fov/2 of the
 // pose's heading, nearest first.
 func (w *World) VisibleObstacles(p Pose, t time.Duration, maxRange, fov float64) []Detection {
-	var out []Detection
+	return w.VisibleObstaclesInto(nil, p, t, maxRange, fov)
+}
+
+// VisibleObstaclesInto is VisibleObstacles appending into dst (reusing its
+// capacity) — the zero-allocation variant for per-sensor scratch buffers.
+// The world itself holds no scratch so concurrent sensors can each bring
+// their own.
+func (w *World) VisibleObstaclesInto(dst []Detection, p Pose, t time.Duration, maxRange, fov float64) []Detection {
+	out := dst
 	for _, o := range w.Obstacles {
 		pos, vel := o.At(t)
 		rel := pos.Sub(p.Pos)
@@ -240,13 +248,28 @@ func (w *World) VisibleObstacles(p Pose, t time.Duration, maxRange, fov float64)
 
 // NearestAhead returns the nearest visible obstacle within a narrow
 // forward cone (the reactive path's radar/sonar view). ok is false when
-// nothing is in view.
+// nothing is in view. It tracks the minimum inline — no candidate list —
+// because the reactive path polls it tens of times per control cycle.
 func (w *World) NearestAhead(p Pose, t time.Duration, maxRange, fov float64) (Detection, bool) {
-	ds := w.VisibleObstacles(p, t, maxRange, fov)
-	if len(ds) == 0 {
-		return Detection{}, false
+	var best Detection
+	found := false
+	for _, o := range w.Obstacles {
+		pos, vel := o.At(t)
+		rel := pos.Sub(p.Pos)
+		r := rel.Norm()
+		if r > maxRange || r == 0 {
+			continue
+		}
+		bearing := mathx.WrapAngle(rel.Angle() - p.Heading)
+		if math.Abs(bearing) > fov/2 {
+			continue
+		}
+		if !found || r < best.Range {
+			best = Detection{Obstacle: o, Pos: pos, Vel: vel, Range: r, Bearing: bearing}
+			found = true
+		}
 	}
-	return ds[0], true
+	return best, found
 }
 
 // SceneComplexity returns a [0,1] score of how dynamic the scene is around
@@ -255,9 +278,19 @@ func (w *World) NearestAhead(p Pose, t time.Duration, maxRange, fov float64) (De
 // frame, slowing localization — Sec. V-C).
 func (w *World) SceneComplexity(p Pose, t time.Duration) float64 {
 	const saturation = 6.0
+	const maxRange, fov = 40.0, math.Pi
 	moving := 0
-	for _, d := range w.VisibleObstacles(p, t, 40, math.Pi) {
-		if d.Vel.Norm() > 0.2 {
+	for _, o := range w.Obstacles {
+		pos, vel := o.At(t)
+		rel := pos.Sub(p.Pos)
+		r := rel.Norm()
+		if r > maxRange || r == 0 {
+			continue
+		}
+		if math.Abs(mathx.WrapAngle(rel.Angle()-p.Heading)) > fov/2 {
+			continue
+		}
+		if vel.Norm() > 0.2 {
 			moving++
 		}
 	}

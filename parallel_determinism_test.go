@@ -188,30 +188,60 @@ func TestDetectionDecodeDeterministicAcrossWorkers(t *testing.T) {
 // per-cycle trace and headline report figures are bit-identical across
 // worker counts.
 func TestCoreSimulationDeterministicAcrossWorkers(t *testing.T) {
-	run := func(workers int) (string, *core.Report) {
-		var buf bytes.Buffer
-		var rep *core.Report
-		atWorkers(workers, func() {
-			cfg := core.DefaultConfig()
-			cfg.Seed = 4
-			s := core.New(cfg, core.CruiseScenario(4))
-			tr := core.NewTracer(&buf)
-			s.AttachTracer(tr)
-			rep = s.Run(5 * time.Second)
-			if _, err := tr.Close(); err != nil {
-				t.Fatal(err)
-			}
-		})
-		return buf.String(), rep
-	}
-	tr1, rep1 := run(1)
-	tr8, rep8 := run(8)
+	tr1, rep1 := tracedCruise(t, 1, false)
+	tr8, rep8 := tracedCruise(t, 8, false)
 	if tr1 != tr8 {
 		t.Fatal("simulation traces differ between workers=1 and workers=8")
 	}
-	if rep1.Cycles != rep8.Cycles || rep1.CommandsDelivered != rep8.CommandsDelivered ||
-		rep1.Tcomp.Mean() != rep8.Tcomp.Mean() || rep1.EndToEnd.Mean() != rep8.EndToEnd.Mean() {
-		t.Fatalf("simulation reports differ: workers=1 cycles=%d tcomp=%v, workers=8 cycles=%d tcomp=%v",
-			rep1.Cycles, rep1.Tcomp.Mean(), rep8.Cycles, rep8.Tcomp.Mean())
+	assertSameCruise(t, rep1, rep8)
+}
+
+// TestCoreSimulationDeterministicAcrossPipelineModes is the determinism
+// contract of the staged control-loop dataflow: serial and pipelined runs,
+// at worker counts 1 and 8 each, must produce bit-identical traces and
+// reports — four executions, one result.
+func TestCoreSimulationDeterministicAcrossPipelineModes(t *testing.T) {
+	ref, repRef := tracedCruise(t, 1, false)
+	for _, c := range []struct {
+		workers   int
+		pipelined bool
+	}{{1, true}, {8, false}, {8, true}} {
+		tr, rep := tracedCruise(t, c.workers, c.pipelined)
+		if tr != ref {
+			t.Fatalf("trace at workers=%d pipeline=%v differs from serial workers=1",
+				c.workers, c.pipelined)
+		}
+		assertSameCruise(t, repRef, rep)
+	}
+}
+
+// tracedCruise runs the 5 s reference cruise under the given worker count
+// and control-loop mode, returning the full trace and report.
+func tracedCruise(t *testing.T, workers int, pipelined bool) (string, *core.Report) {
+	t.Helper()
+	var buf bytes.Buffer
+	var rep *core.Report
+	atWorkers(workers, func() {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 4
+		cfg.Pipeline = pipelined
+		s := core.New(cfg, core.CruiseScenario(4))
+		tr := core.NewTracer(&buf)
+		s.AttachTracer(tr)
+		rep = s.Run(5 * time.Second)
+		if _, err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return buf.String(), rep
+}
+
+func assertSameCruise(t *testing.T, a, b *core.Report) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.CommandsDelivered != b.CommandsDelivered ||
+		a.Tcomp.Mean() != b.Tcomp.Mean() || a.EndToEnd.Mean() != b.EndToEnd.Mean() ||
+		a.PipelineDepth.Mean() != b.PipelineDepth.Mean() {
+		t.Fatalf("simulation reports differ: cycles=%d tcomp=%v vs cycles=%d tcomp=%v",
+			a.Cycles, a.Tcomp.Mean(), b.Cycles, b.Tcomp.Mean())
 	}
 }

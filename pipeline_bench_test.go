@@ -1,0 +1,77 @@
+// Benchmarks for the staged control-loop dataflow: serial vs pipelined
+// wall-clock throughput and the steady-state allocation contract. The CI
+// bench-smoke step runs TestControlLoopSteadyStateAllocs as the regression
+// gate; scripts/bench_pipeline.sh turns the benchmark output into
+// BENCH_pipeline.json.
+package sov
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"sov/internal/core"
+)
+
+// benchCruise runs one fixed-horizon characterization cruise. Each op spans
+// simDuration of virtual time (~10 control cycles per virtual second), so
+// per-cycle figures are ns/op and allocs/op divided by the cycle count.
+func benchCruise(b *testing.B, pipelined bool, simDuration time.Duration) {
+	b.Helper()
+	var rep *core.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Pipeline = pipelined
+		rep = core.New(cfg, core.CruiseScenario(3)).Run(simDuration)
+	}
+	b.StopTimer()
+	cycles := float64(rep.Cycles)
+	b.ReportMetric(cycles, "cycles/op")
+	b.ReportMetric(cycles/b.Elapsed().Seconds()*float64(b.N), "cycles/sec")
+	b.ReportMetric(rep.PipelineDepth.Mean(), "inflight_mean")
+}
+
+func BenchmarkPipelineThroughput(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchCruise(b, false, 60*time.Second) })
+	b.Run("pipelined", func(b *testing.B) { benchCruise(b, true, 60*time.Second) })
+}
+
+// measureSteadyStateAllocs returns the per-cycle allocation rate of the
+// control loop once warm, by differencing two fresh runs of different
+// lengths so setup-time allocations (world, detector, pools) cancel out.
+func measureSteadyStateAllocs(pipelined bool) float64 {
+	run := func(d time.Duration) (uint64, int) {
+		cfg := core.DefaultConfig()
+		cfg.Pipeline = pipelined
+		s := core.New(cfg, core.CruiseScenario(3))
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		rep := s.Run(d)
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs, rep.Cycles
+	}
+	aShort, cShort := run(10 * time.Second)
+	aLong, cLong := run(60 * time.Second)
+	return float64(aLong-aShort) / float64(cLong-cShort)
+}
+
+// TestControlLoopSteadyStateAllocs is the CI bench-smoke gate for the
+// zero-allocation frame-reuse contract: a warm control cycle — capture,
+// perceive, plan, delivery scheduling — must stay near zero allocations in
+// both modes. The seed ran ~25 allocs/cycle; the frame/slot/event recycling
+// brought it under 1. The bound of 2 leaves headroom for amortized sample
+// growth without letting a per-cycle regression slip through.
+func TestControlLoopSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+	}{{"serial", false}, {"pipelined", true}} {
+		if got := measureSteadyStateAllocs(mode.pipelined); got > 2 {
+			t.Errorf("%s control loop allocates %.2f allocs/cycle in steady state, want < 2",
+				mode.name, got)
+		}
+	}
+}

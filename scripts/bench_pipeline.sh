@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench_pipeline.sh — run BenchmarkPipelineThroughput and emit a
+# machine-readable snapshot as BENCH_pipeline.json (serial vs pipelined
+# control loop: ns/op, allocs/op, B/op, cycles/op, cycles/sec).
+#
+# Usage: scripts/bench_pipeline.sh [output.json]
+#
+# The throughput comparison is only meaningful on a multi-core runner:
+# the pipelined mode trades goroutine handoff overhead for stage overlap,
+# which a single-CPU host cannot express. The JSON therefore records the
+# host's processor count (GOMAXPROCS, from the benchmark name suffix)
+# alongside the numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pipeline.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPipelineThroughput' -benchmem -benchtime 3x . | tee "$raw" >&2
+
+awk '
+BEGIN { printf "{\n  \"benchmark\": \"BenchmarkPipelineThroughput\",\n  \"results\": [\n" }
+/^BenchmarkPipelineThroughput\// {
+    mode = $1
+    sub(/^BenchmarkPipelineThroughput\//, "", mode)
+    if (match(mode, /-[0-9]+$/)) {
+        procs = substr(mode, RSTART + 1)
+        mode = substr(mode, 1, RSTART - 1)
+    }
+    delete m
+    for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
+    printf "%s    {\"mode\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"cycles_per_op\": %s, \"cycles_per_sec\": %s, \"inflight_mean\": %s}",
+        n++ ? ",\n" : "", mode, m["ns/op"], m["allocs/op"], m["B/op"],
+        m["cycles/op"], m["cycles/sec"], m["inflight_mean"]
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "\n  ],\n  \"cpu\": \"%s\",\n  \"num_cpu\": %s\n}\n", cpu, procs ? procs : 1
+}
+' "$raw" > "$out"
+
+echo "wrote $out" >&2

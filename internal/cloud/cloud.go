@@ -187,6 +187,7 @@ func (m *MapStore) DeltaSince(version int) []MapAnnotation {
 // String summarizes the store.
 func (m *MapStore) String() string {
 	n := 0
+	//sovlint:ignore maprange order-independent aggregation: the loop only sums lengths
 	for _, as := range m.annotations {
 		n += len(as)
 	}

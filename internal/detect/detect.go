@@ -95,6 +95,8 @@ func (d *Detector) Detect(t time.Duration, pose world.Pose) []Object {
 // DetectInto appends the frame's detections to dst (reusing its capacity)
 // and returns it — the zero-allocation variant of Detect for a recycled
 // per-frame buffer. RNG draw order is identical to Detect.
+//
+//sov:hotpath
 func (d *Detector) DetectInto(dst []Object, t time.Duration, pose world.Pose) []Object {
 	d.frames++
 	cfg := d.Config

@@ -124,6 +124,8 @@ func growBools(s []bool, n int) []bool {
 // is an insertion sort on the matching cost — deterministic (and stable,
 // which sort.Slice does not guarantee on ties), so results are reproducible
 // bit-for-bit across runs and worker counts.
+//
+//sov:hotpath
 func (sc *SyncScratch) SpatialSyncInto(cfg SpatialSyncConfig, dets []detect.Object, tracks []track.RadarTrack) (matches []Match, unmatchedDets []detect.Object, unmatchedTracks []track.RadarTrack) {
 	cands := sc.cands[:0]
 	for di, d := range dets {
@@ -195,6 +197,8 @@ func FuseAll(matches []Match, unmatchedDets []detect.Object) []FusedObject {
 
 // FuseAllInto appends the perception output to dst (reusing its capacity)
 // and returns it — the zero-allocation variant of FuseAll.
+//
+//sov:hotpath
 func FuseAllInto(dst []FusedObject, matches []Match, unmatchedDets []detect.Object) []FusedObject {
 	for _, m := range matches {
 		dst = append(dst, FusedObject{Object: m.Detection, Velocity: m.Track.Vel, FromRadar: true})

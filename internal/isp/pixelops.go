@@ -40,6 +40,8 @@ func (c PixelPipelineConfig) Process(in *vision.Image) *vision.Image {
 // ProcessInto runs the chain writing into out, using blur as blur scratch;
 // both must match in's dimensions and may hold stale frames on entry. This
 // is the zero-allocation variant of Process for recycled frame buffers.
+//
+//sov:hotpath
 func (c PixelPipelineConfig) ProcessInto(out, blur *vision.Image, in *vision.Image) {
 	if out.W != in.W || out.H != in.H || blur.W != in.W || blur.H != in.H {
 		panic("isp: ProcessInto buffer dimensions do not match input")
@@ -90,6 +92,8 @@ func (c PixelPipelineConfig) ProcessInto(out, blur *vision.Image, in *vision.Ima
 }
 
 // boxBlur3Into writes a 3x3 mean filter of im into out (border clamped).
+//
+//sov:hotpath
 func boxBlur3Into(out, im *vision.Image) {
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {

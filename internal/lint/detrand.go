@@ -1,0 +1,69 @@
+package lint
+
+// detrand: all randomness flows through explicitly seeded generators.
+//
+// Every stochastic model in the repo (detection noise, sensor jitter, ISP
+// stage delays, scenario generation) draws from internal/sim's seeded RNG
+// or from a *rand.Rand built on an explicit rand.NewSource(seed), so a run
+// is a pure function of its seed. The global math/rand functions share
+// process-wide state seeded who-knows-where and serialize concurrent draws
+// through a mutex; rand.New on an opaque source hides the seed from the
+// reproducibility audit. Both are banned outright — there is no annotation
+// escape hatch, only //sovlint:ignore with a written reason.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand flags global math/rand top-level draws and rand.New calls whose
+// source is not an explicit rand.NewSource(...).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "global math/rand state or rand.New without an explicit rand.NewSource seed",
+	Run:  runDetRand,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// values rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetRand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		walkWithFunc(f, func(n ast.Node, _ *ast.FuncDecl) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn, ok := calleeObject(p.Pkg.Info, call).(*types.Func)
+			if !ok || !isFuncFrom(fn, "math/rand", fn.Name()) {
+				return
+			}
+			name := fn.Name()
+			if !randConstructors[name] {
+				p.Reportf(call.Pos(),
+					"rand.%s draws from the global math/rand source; use internal/sim's seeded RNG (or rand.New(rand.NewSource(seed)))",
+					name)
+				return
+			}
+			if name != "New" {
+				return
+			}
+			// rand.New must take a literal rand.NewSource(...) so the seed
+			// is visible at the call site.
+			if len(call.Args) == 1 {
+				if src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+					if isFuncFrom(calleeObject(p.Pkg.Info, src), "math/rand", "NewSource") {
+						return
+					}
+				}
+			}
+			p.Reportf(call.Pos(),
+				"rand.New without an inline rand.NewSource(seed) hides the seed from the reproducibility audit")
+		})
+	}
+}

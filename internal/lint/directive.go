@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar (DESIGN.md §7):
+//
+//	//sovlint:ignore <analyzer> <reason>   — suppress <analyzer> findings on
+//	                                         this line and the next; the
+//	                                         reason is mandatory.
+//	//sovlint:wallclock [reason]           — on a function's doc comment:
+//	                                         the function may read the wall
+//	                                         clock (stats/diagnostics only).
+//	//sov:hotpath                          — on a function's doc comment:
+//	                                         hotalloc checks every
+//	                                         allocation site in the body.
+const (
+	directiveIgnore    = "//sovlint:ignore"
+	directiveWallclock = "//sovlint:wallclock"
+	directiveHotpath   = "//sov:hotpath"
+)
+
+// ignoreDirective is one parsed //sovlint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+	// used records whether any finding was actually suppressed; the driver
+	// does not report unused directives today, but the field keeps the
+	// accounting ready for a -strict mode.
+	used bool
+}
+
+// fileDirectives holds the suppression state for one file.
+type fileDirectives struct {
+	// ignores maps analyzer name → lines where findings are suppressed.
+	ignores map[string]map[int]bool
+	// malformed holds directives that failed to parse (missing analyzer or
+	// reason); the driver reports these as findings of the "sovlint"
+	// pseudo-analyzer so a typo cannot silently disable enforcement.
+	malformed []malformedDirective
+}
+
+type malformedDirective struct {
+	pos token.Pos
+	msg string
+}
+
+// parseFileDirectives scans every comment in the file for //sovlint:ignore
+// directives. A directive suppresses findings for its analyzer on the
+// directive's own line (trailing-comment style) and on the following line
+// (comment-above style).
+func parseFileDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) *fileDirectives {
+	fd := &fileDirectives{ignores: make(map[string]map[int]bool)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			rest, ok := strings.CutPrefix(text, directiveIgnore)
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //sovlint:ignoreXYZ — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				fd.malformed = append(fd.malformed, malformedDirective{
+					pos: c.Pos(), msg: "sovlint:ignore needs an analyzer name and a reason"})
+				continue
+			}
+			name := fields[0]
+			if known != nil && !known[name] {
+				fd.malformed = append(fd.malformed, malformedDirective{
+					pos: c.Pos(), msg: "sovlint:ignore names unknown analyzer " + strconv(name)})
+				continue
+			}
+			if len(fields) < 2 {
+				fd.malformed = append(fd.malformed, malformedDirective{
+					pos: c.Pos(), msg: "sovlint:ignore " + name + " needs a reason"})
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			m := fd.ignores[name]
+			if m == nil {
+				m = make(map[int]bool)
+				fd.ignores[name] = m
+			}
+			m[line] = true
+			m[line+1] = true
+		}
+	}
+	return fd
+}
+
+// strconv quotes a directive token for an error message without pulling in
+// fmt at every call site.
+func strconv(s string) string { return "\"" + s + "\"" }
+
+// suppressed reports whether a finding by the named analyzer at the given
+// line is covered by an ignore directive.
+func (fd *fileDirectives) suppressed(analyzer string, line int) bool {
+	if fd == nil {
+		return false
+	}
+	return fd.ignores[analyzer][line]
+}
+
+// funcHasDirective reports whether the function declaration's doc comment
+// carries the given directive (e.g. //sovlint:wallclock, //sov:hotpath).
+func funcHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

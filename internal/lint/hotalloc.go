@@ -1,0 +1,396 @@
+package lint
+
+// hotalloc: no allocation sites in hot-path functions.
+//
+// PR 2 cut the steady-state control cycle to <1 allocation; that number is
+// load-bearing (the alloc gate in CI and the latency model's assumption
+// that Tcomp has no GC noise in it). This analyzer makes the property
+// reviewable: inside functions annotated //sov:hotpath — plus the known
+// per-frame kernel set in isp/nn/pointcloud/detect/fusion — it flags the
+// constructs that allocate on every call: make/new, escaping (&T{...})
+// composite literals, slice and map literals, append onto a slice declared
+// without capacity, fmt calls, string concatenation and string<->[]byte
+// conversions, interface boxing, and closures. Allocation sites inside
+// panic arguments are exempt (shape-check error paths never run in steady
+// state). Intentional exceptions carry //sovlint:ignore with a reason.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags allocation sites in //sov:hotpath functions and the known
+// kernel set.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation sites in //sov:hotpath functions and the known per-frame kernel set",
+	Run:  runHotAlloc,
+}
+
+// hotKernels is the built-in per-frame kernel set: the zero-allocation
+// Into-variants and inner-loop kernels the steady-state alloc gate
+// measures. Methods are named "Receiver.Method". Entries must resolve to
+// real functions — TestHotKernelTableFresh fails on drift.
+var hotKernels = map[string][]string{
+	"sov/internal/isp":        {"PixelPipelineConfig.ProcessInto", "boxBlur3Into"},
+	"sov/internal/nn":         {"Conv2D.ForwardInto", "Conv2D.forwardChannel", "MaxPool2.ForwardInto", "poolChannel"},
+	"sov/internal/pointcloud": {"icpMatchOne"},
+	"sov/internal/detect":     {"Detector.DetectInto"},
+	"sov/internal/fusion":     {"SyncScratch.SpatialSyncInto", "FuseAllInto"},
+}
+
+// funcKey names a declaration the way hotKernels does.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// VerifyHotKernels returns the hotKernels entries that did not match any
+// function declaration in the given packages — the drift guard the
+// meta-test runs so a rename cannot silently drop a kernel from coverage.
+func VerifyHotKernels(pkgs []*Package) []string {
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok {
+					seen[pkg.ImportPath+"."+funcKey(fn)] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for path, names := range hotKernels {
+		for _, name := range names {
+			if !seen[path+"."+name] {
+				missing = append(missing, path+"."+name)
+			}
+		}
+	}
+	return missing
+}
+
+func isHotFunc(pkg *Package, fn *ast.FuncDecl) bool {
+	if funcHasDirective(fn, directiveHotpath) {
+		return true
+	}
+	for _, name := range hotKernels[pkg.ImportPath] {
+		if name == funcKey(fn) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotFunc(p.Pkg, fn) {
+				continue
+			}
+			checkHotFunc(p, fn)
+		}
+	}
+}
+
+// posRange is a half-open source span.
+type posRange struct{ lo, hi token.Pos }
+
+func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
+	info := p.Pkg.Info
+
+	// Cold spans: panic arguments never run in steady state.
+	var cold []posRange
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					cold = append(cold, posRange{call.Lparen, call.Rparen})
+				}
+			}
+		}
+		return true
+	})
+	inCold := func(pos token.Pos) bool {
+		for _, r := range cold {
+			if pos > r.lo && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Slice-sizing facts: which local slice variables are provably unsized
+	// at their most recent (lexical) definition. Values: true = unsized.
+	sliceState := make(map[*types.Var]bool)
+	markDef := func(id *ast.Ident, init ast.Expr) {
+		// x = append(...) does not establish sizing; keep the fact from the
+		// declaration so `var s []T; s = append(s, v)` still counts as
+		// growing an unsized slice.
+		if call, ok := ast.Unparen(init).(*ast.CallExpr); ok {
+			if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" {
+				if _, isBuiltin := info.Uses[fid].(*types.Builtin); isBuiltin {
+					return
+				}
+			}
+		}
+		obj, _ := info.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = info.Uses[id].(*types.Var)
+		}
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		sliceState[obj] = initIsUnsized(info, init)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						markDef(id, s.Rhs[i])
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						var init ast.Expr
+						if i < len(vs.Values) {
+							init = vs.Values[i]
+						}
+						markDef(id, init)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if !inCold(pos) {
+			p.Reportf(pos, format, args...)
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			report(e.Pos(), "closure in hot path %s allocates per call (captured variables escape)", fn.Name.Name)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e.Pos(), "&composite literal in hot path %s escapes to the heap", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(e.Pos(), "slice literal in hot path %s allocates its backing array", fn.Name.Name)
+				case *types.Map:
+					report(e.Pos(), "map literal in hot path %s allocates", fn.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if tv, ok := info.Types[e]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(e.Pos(), "string concatenation in hot path %s allocates", fn.Name.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 {
+				if tv, ok := info.Types[e.Lhs[0]]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(e.Pos(), "string concatenation in hot path %s allocates", fn.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, fn, e, info, sliceState, report)
+		}
+		return true
+	})
+}
+
+// initIsUnsized classifies a slice definition's initializer: true when the
+// slice provably starts with zero capacity (so the first append must
+// allocate and a growing loop reallocates repeatedly).
+func initIsUnsized(info *types.Info, init ast.Expr) bool {
+	if init == nil {
+		return true // var s []T
+	}
+	init = ast.Unparen(init)
+	switch e := init.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0 // s := []T{} — a literal with elements is its own finding
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				if len(e.Args) >= 3 {
+					return false // capacity given
+				}
+				if len(e.Args) == 2 {
+					if tv, ok := info.Types[e.Args[1]]; ok && tv.Value != nil {
+						return tv.Value.String() == "0" // make([]T, 0): no capacity
+					}
+					return false // make([]T, n): sized
+				}
+			}
+		}
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+	}
+	return false // params, fields, slice expressions, call results: unknown
+}
+
+// allocFreeBuiltins are builtins whose calls never allocate and whose
+// interface-looking signatures must not trip the boxing check.
+var allocFreeBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true, "clear": true,
+	"min": true, "max": true, "real": true, "imag": true, "complex": true,
+	"print": true, "println": true, "panic": true, "recover": true,
+}
+
+func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Info,
+	sliceState map[*types.Var]bool, report func(token.Pos, string, ...any)) {
+
+	// Builtins: make/new allocate; append onto an unsized local grows the
+	// backing array; the rest are free.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make in hot path %s allocates; borrow from a pool or reuse a scratch buffer", fn.Name.Name)
+			case "new":
+				report(call.Pos(), "new in hot path %s allocates", fn.Name.Name)
+			case "append":
+				if len(call.Args) == 0 {
+					return
+				}
+				base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj, _ := info.Uses[base].(*types.Var)
+				if obj == nil {
+					obj, _ = info.Defs[base].(*types.Var)
+				}
+				if obj != nil && sliceState[obj] {
+					report(call.Pos(), "append onto unsized slice %s in hot path %s reallocates as it grows; preallocate with capacity or reuse a buffer", base.Name, fn.Name.Name)
+				}
+			}
+			return
+		}
+	}
+
+	// Type conversions: string <-> []byte/[]rune copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		if av, ok := info.Types[call.Args[0]]; ok {
+			from := av.Type.Underlying()
+			if isStringBytesConv(to, from) {
+				report(call.Pos(), "string/[]byte conversion in hot path %s copies the data", fn.Name.Name)
+				return
+			}
+			if _, isIface := to.(*types.Interface); isIface {
+				if !isInterfaceOrNil(av) {
+					report(call.Pos(), "conversion to interface in hot path %s boxes the value", fn.Name.Name)
+				}
+				return
+			}
+		}
+		return
+	}
+
+	// fmt is formatting + boxing + (for the S-family) a fresh string.
+	if obj := calleeObject(info, call); obj != nil {
+		if f, ok := obj.(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt.%s in hot path %s allocates (formatting state, boxed arguments)", f.Name(), fn.Name.Name)
+			return
+		}
+	}
+
+	// Interface boxing at ordinary call sites: a concrete argument passed
+	// to an interface parameter allocates unless it is pointer-shaped and
+	// already escapes.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if av, ok := info.Types[arg]; ok && !isInterfaceOrNil(av) {
+			report(arg.Pos(), "argument boxed into interface parameter in hot path %s", fn.Name.Name)
+		}
+	}
+}
+
+func isStringBytesConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
+}
+
+// isInterfaceOrNil reports whether the argument is already an interface
+// value or the untyped nil (neither boxes at the call).
+func isInterfaceOrNil(tv types.TypeAndValue) bool {
+	if tv.IsNil() {
+		return true
+	}
+	_, isIface := tv.Type.Underlying().(*types.Interface)
+	return isIface
+}

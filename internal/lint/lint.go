@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+
+	"sov/internal/parallel"
+)
+
+// An Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in findings and //sovlint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical file:line:col: [analyzer]
+// message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full sovlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetNow,
+		DetRand,
+		MapRange,
+		HotAlloc,
+		GoHygiene,
+	}
+}
+
+// analyzerNames returns the set of valid names for directive validation.
+func analyzerNames(analyzers []*Analyzer) map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Run executes every analyzer over every package, fanning the matrix out
+// across internal/parallel (byte-identical findings for any worker count:
+// each job owns its result slot and the merge is a fixed-order reduction).
+// Suppressed findings are dropped; malformed //sovlint:ignore directives
+// are reported as findings of the "sovlint" pseudo-analyzer. The result is
+// sorted by position, then analyzer, then message.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	type job struct {
+		pkg *Package
+		an  *Analyzer
+	}
+	var jobs []job
+	for _, pkg := range pkgs {
+		for _, an := range analyzers {
+			jobs = append(jobs, job{pkg, an})
+		}
+	}
+	results := make([][]Finding, len(jobs))
+	parallel.For(len(jobs), 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			pass := &Pass{Analyzer: jobs[i].an, Pkg: jobs[i].pkg}
+			pass.Analyzer.Run(pass)
+			results[i] = pass.findings
+		}
+	})
+
+	known := analyzerNames(analyzers)
+	var out []Finding
+	for _, pkg := range pkgs {
+		directives := make(map[string]*fileDirectives, len(pkg.Files))
+		for _, f := range pkg.Files {
+			fd := parseFileDirectives(pkg.Fset, f, known)
+			directives[pkg.Fset.Position(f.Pos()).Filename] = fd
+			for _, m := range fd.malformed {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(m.pos),
+					Analyzer: "sovlint",
+					Message:  m.msg,
+				})
+			}
+		}
+		for i, j := range jobs {
+			if j.pkg != pkg {
+				continue
+			}
+			for _, f := range results[i] {
+				if fd := directives[f.Pos.Filename]; fd.suppressed(f.Analyzer, f.Pos.Line) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// Format renders findings one per line with file paths relative to baseDir
+// (absolute paths are kept when they do not share the base).
+func Format(findings []Finding, baseDir string) []string {
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		g := f
+		if rel, err := filepath.Rel(baseDir, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			g.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out[i] = g.String()
+	}
+	return out
+}

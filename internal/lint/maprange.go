@@ -1,0 +1,98 @@
+package lint
+
+// maprange: no raw map iteration in trace/report/serialization paths.
+//
+// Go randomizes map iteration order on purpose, so a `for range` over a
+// map inside anything that renders output — trace writers, report
+// formatters, marshalers, CSV/JSON emitters — is the classic source of
+// byte-non-identical artifacts that only diverge once in a while. The rule
+// is scoped to functions whose names mark them as serialization paths; the
+// sanctioned pattern (collect the keys, sort, range the sorted slice) is
+// recognized and allowed when the map-range body does nothing but gather
+// keys.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags for-range over a map inside serialization-path functions
+// unless the loop only collects keys for sorting.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration in trace/report/serialization paths (randomized order leaks into output)",
+	Run:  runMapRange,
+}
+
+// serializationMarkers are the lowercase substrings that mark a function
+// as producing externally visible, order-sensitive output.
+var serializationMarkers = []string{
+	"trace", "report", "marshal", "serial", "encode",
+	"write", "dump", "print", "format", "string",
+	"csv", "json", "summar", "render", "emit",
+}
+
+func isSerializationFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, m := range serializationMarkers {
+		if strings.Contains(lower, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		walkWithFunc(f, func(n ast.Node, fn *ast.FuncDecl) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || fn == nil || !isSerializationFunc(fn.Name.Name) {
+				return
+			}
+			tv, ok := p.Pkg.Info.Types[rng.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if isKeyCollectionLoop(rng) {
+				return
+			}
+			p.Reportf(rng.Pos(),
+				"range over map in serialization path %s iterates in randomized order; collect the keys, sort, then range the slice",
+				fn.Name.Name)
+		})
+	}
+}
+
+// isKeyCollectionLoop recognizes the sanctioned sort prelude:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The body must be exactly one append of the key variable — anything else
+// (using the value, emitting output) is order-dependent.
+func isKeyCollectionLoop(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || rng.Body == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); !ok || id.Name != key.Name {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,29 @@
+// Package detnow is the seeded fixture for the detnow analyzer: wall-clock
+// reads at package scope and in unannotated functions must be flagged;
+// //sovlint:wallclock functions must not.
+package detnow
+
+import "time"
+
+var epoch = time.Now() // want: package-scope wall-clock read
+
+var deadline time.Time
+
+func cycle() time.Duration {
+	start := time.Now() // want: wall-clock in control path
+	elapse()
+	return time.Since(start) // want
+}
+
+func elapse() {
+	_ = time.Until(deadline) // want
+}
+
+// statsProbe samples the wall clock for diagnostics only, like the
+// pipeline Runtime's per-stage busy/wait counters.
+//
+//sovlint:wallclock diagnostics excluded from the determinism contract
+func statsProbe() time.Duration {
+	t0 := time.Now() // ok: function is annotated
+	return time.Since(t0)
+}

@@ -1,0 +1,28 @@
+// Package detrand is the seeded fixture for the detrand analyzer: global
+// math/rand draws and rand.New on an opaque source must be flagged;
+// explicit rand.NewSource seeds must not.
+package detrand
+
+import "math/rand"
+
+func draws() (float64, int) {
+	f := rand.Float64() // want: global source
+	n := rand.Intn(10)  // want: global source
+	return f, n
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: global source
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: seed visible at the call site
+}
+
+func opaque(src rand.Source) *rand.Rand {
+	return rand.New(src) // want: seed hidden behind the source value
+}
+
+func methodDraw(rng *rand.Rand) float64 {
+	return rng.Float64() // ok: draws from an owned generator
+}

@@ -1,0 +1,82 @@
+// Package gohygiene is the seeded fixture for the gohygiene analyzer:
+// fire-and-forget goroutines, WaitGroup.Add inside spawned goroutines, and
+// lock-carrying values in signatures must be flagged; the sanctioned
+// lifecycle patterns must not.
+package gohygiene
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+	n  int
+}
+
+func leak() {
+	go func() { // want: no visible join
+		_ = 1
+	}()
+}
+
+func addInsideGoroutine(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want: Add races the parent's Wait
+		defer wg.Done()
+	}()
+}
+
+func fire(s *server) {
+	go s.bump() // want: plain function, no join, no owning lifecycle
+}
+
+func (s *server) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func waited(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // ok: Add before launch, Done inside
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+type pool struct{ tasks chan func() }
+
+func (p *pool) run() {
+	go func() { // ok: channel-range worker exits when tasks closes
+		for f := range p.tasks {
+			f()
+		}
+	}()
+}
+
+type engine struct{ quit chan struct{} }
+
+func (e *engine) Start() {
+	go e.loop() // ok: engine has Stop
+}
+
+func (e *engine) loop() { <-e.quit }
+
+func (e *engine) Stop() { close(e.quit) }
+
+func byValue(s server) int { // want: parameter carries sync.Mutex by value
+	return s.n
+}
+
+func (s server) Count() int { // want: value receiver carries sync.Mutex
+	return s.n
+}
+
+func snapshot() server { // want: by-value result carries sync.Mutex
+	return server{}
+}
+
+func viaPointer(s *server) int { // ok: pointer
+	return s.n
+}

@@ -1,0 +1,67 @@
+// Package hotalloc is the seeded fixture for the hotalloc analyzer: every
+// allocation construct inside a //sov:hotpath function must be flagged,
+// panic arguments and capacity-reusing appends must not, and unannotated
+// functions are never checked.
+package hotalloc
+
+import "fmt"
+
+type item struct{ id int }
+
+func sink(v any) { _ = v }
+
+// process is the per-frame kernel under test: one of every allocation
+// construct.
+//
+//sov:hotpath
+func process(dst []item, n int) []item {
+	var grown []item
+	for i := 0; i < n; i++ {
+		grown = append(grown, item{id: i}) // want: append onto unsized slice
+	}
+	scratch := make([]int, n) // want: make
+	_ = scratch
+	boxed := &item{id: n} // want: escaping composite literal
+	_ = boxed
+	lit := []int{1, 2, 3} // want: slice literal
+	_ = lit
+	set := map[int]bool{} // want: map literal
+	_ = set
+	label := fmt.Sprintf("frame-%d", n) // want: fmt call (argument boxing is folded into it)
+	label += "!"                        // want: string concatenation
+	raw := []byte(label)                // want: string/[]byte conversion copies
+	_ = raw
+	sink(n) // want: argument boxed into interface parameter
+	if n < 0 {
+		panic(fmt.Sprintf("impossible frame %d", n)) // ok: panic argument is cold
+	}
+	return append(dst, grown...) // ok: append onto caller-provided capacity
+}
+
+// spawnClosure returns a closure — the capture escapes on every call.
+//
+//sov:hotpath
+func spawnClosure(n int) func() int {
+	return func() int { return n } // want: closure allocates per call
+}
+
+// reuse appends into capacity the caller owns; nothing to flag.
+//
+//sov:hotpath
+func reuse(src []item) []item {
+	out := src[:0]
+	for _, it := range src {
+		out = append(out, it) // ok: capacity comes from the caller
+	}
+	return out
+}
+
+// cold is not annotated and not in the kernel table: the same constructs
+// are fine here.
+func cold(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

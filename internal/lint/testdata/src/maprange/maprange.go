@@ -1,0 +1,53 @@
+// Package maprange is the seeded fixture for the maprange analyzer: raw
+// map iteration in serialization-path functions must be flagged; the
+// collect-sort-range pattern and non-serialization functions must not.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders per-key counts — iterating the map directly makes the
+// output order random.
+func Report(counts map[string]int) string {
+	var b strings.Builder
+	for k, v := range counts { // want: randomized order leaks into output
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// WriteSorted is the sanctioned pattern: collect keys, sort, range the
+// slice.
+func WriteSorted(counts map[string]int) string {
+	var keys []string
+	for k := range counts { // ok: key-collection loop
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, counts[k])
+	}
+	return b.String()
+}
+
+// TraceKinds ranges key and value to emit — using the value disqualifies
+// the key-collection allowance.
+func TraceKinds(kinds map[int]string, sink func(string)) {
+	for _, name := range kinds { // want: value used in output path
+		sink(name)
+	}
+}
+
+// accumulate is order-insensitive and not a serialization path; the
+// analyzer stays quiet.
+func accumulate(counts map[string]int) int {
+	total := 0
+	for _, v := range counts { // ok: not a serialization-path function
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+// Package suppress is the fixture for the //sovlint:ignore machinery:
+// well-formed directives (comment-above and trailing styles) suppress
+// findings on their line and the next; malformed directives — missing
+// reason, unknown analyzer — are themselves findings and suppress nothing.
+package suppress
+
+import "time"
+
+var t0 time.Time
+
+func cycle() time.Duration {
+	//sovlint:ignore detnow harness-only timing, excluded from traces
+	start := time.Now()    // suppressed: directive on the line above
+	d := time.Since(start) //sovlint:ignore detnow trailing directive on the same line
+	//sovlint:ignore detnow
+	_ = time.Now() // want: directive above lacks a reason, so it suppresses nothing
+	//sovlint:ignore nosuchanalyzer a typo must not silently disable enforcement
+	_ = time.Now()     // want: unknown analyzer name, so it suppresses nothing
+	_ = time.Since(t0) // want: no directive at all
+	return d
+}

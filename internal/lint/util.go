@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkWithFunc walks the file tracking the enclosing top-level function
+// declaration: visit is called for every node with the FuncDecl whose body
+// (lexically) contains it, or nil at package scope. Function literals do
+// not change the enclosing declaration — a //sov:hotpath or
+// //sovlint:wallclock annotation covers the closures the function spawns.
+func walkWithFunc(f *ast.File, visit func(n ast.Node, fn *ast.FuncDecl)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			ast.Inspect(d, func(n ast.Node) bool {
+				if n != nil {
+					visit(n, d)
+				}
+				return true
+			})
+		default:
+			ast.Inspect(d, func(n ast.Node) bool {
+				if n != nil {
+					visit(n, nil)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeObject resolves the function object a call expression invokes, or
+// nil when the callee is dynamic (a function value, method value, etc.).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// isFuncFrom reports whether obj is the named package-level function of the
+// given package import path.
+func isFuncFrom(obj types.Object, pkgPath string, names ...string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// namedPath returns "pkgpath.TypeName" for a named or instantiated type,
+// or "" for anything else.
+func namedPath(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// lockCarriers names the types whose values must never be copied. Beyond
+// the sync primitives, the sync/atomic value types are included: copying
+// one tears the address the atomics operate on.
+var lockCarriers = map[string]bool{
+	"sync.Mutex":          true,
+	"sync.RWMutex":        true,
+	"sync.WaitGroup":      true,
+	"sync.Once":           true,
+	"sync.Cond":           true,
+	"sync.Pool":           true,
+	"sync.Map":            true,
+	"sync/atomic.Bool":    true,
+	"sync/atomic.Int32":   true,
+	"sync/atomic.Int64":   true,
+	"sync/atomic.Uint32":  true,
+	"sync/atomic.Uint64":  true,
+	"sync/atomic.Uintptr": true,
+	"sync/atomic.Pointer": true,
+	"sync/atomic.Value":   true,
+}
+
+// containsLock reports the dotted path of the first lock-carrying
+// component reachable by value inside t ("" when none): the type itself, a
+// struct field, or an array element. Pointers, slices, maps and channels
+// are references — copying them does not copy the lock.
+func containsLock(t types.Type) string {
+	return lockPath(t, make(map[types.Type]bool))
+}
+
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if p := namedPath(t); lockCarriers[p] {
+		return p
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPath(f.Type(), seen); p != "" {
+				return f.Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(u.Elem(), seen); p != "" {
+			return "[...]" + p
+		}
+	}
+	return ""
+}

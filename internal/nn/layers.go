@@ -125,6 +125,9 @@ type Classifier struct {
 // NewClassifier builds a deterministic classifier for crops of the given
 // size.
 func NewClassifier(inH, inW, classes int, seed int64) *Classifier {
+	// Weight init draws from an explicit caller-provided seed (detrand:
+	// never the global math/rand source), so a model is a pure function of
+	// (architecture, seed).
 	rng := rand.New(rand.NewSource(seed))
 	net := &Network{Layers: []Layer{
 		NewConv2D(1, 8, 3, 1, 1, true, rng),

@@ -163,6 +163,8 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 // keeps its serial accumulation order, so the tensor is byte-identical for
 // any worker count. The serial path skips the fan-out closure entirely,
 // keeping the pooled forward pass allocation-free.
+//
+//sov:hotpath
 func (c *Conv2D) ForwardInto(in, out *Tensor) {
 	if in.C != c.InC {
 		panic(fmt.Sprintf("nn: conv input channels %d != %d", in.C, c.InC))
@@ -177,6 +179,7 @@ func (c *Conv2D) ForwardInto(in, out *Tensor) {
 		}
 		return
 	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
 	parallel.For(oc, 1, func(o0, o1 int) {
 		for o := o0; o < o1; o++ {
 			c.forwardChannel(in, out, o, oh, ow)
@@ -185,6 +188,8 @@ func (c *Conv2D) ForwardInto(in, out *Tensor) {
 }
 
 // forwardChannel computes one output channel of the convolution.
+//
+//sov:hotpath
 func (c *Conv2D) forwardChannel(in, out *Tensor, o, oh, ow int) {
 	wBase := o * c.InC * c.K * c.K
 	for oy := 0; oy < oh; oy++ {
@@ -238,6 +243,8 @@ func (MaxPool2) Forward(in *Tensor) *Tensor {
 }
 
 // ForwardInto implements IntoLayer.
+//
+//sov:hotpath
 func (MaxPool2) ForwardInto(in, out *Tensor) {
 	if out.C != in.C || out.H != in.H/2 || out.W != in.W/2 {
 		panic(fmt.Sprintf("nn: pool output shape %dx%dx%d != %dx%dx%d", out.C, out.H, out.W, in.C, in.H/2, in.W/2))
@@ -248,6 +255,7 @@ func (MaxPool2) ForwardInto(in, out *Tensor) {
 		}
 		return
 	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
 	parallel.For(in.C, 1, func(c0, c1 int) {
 		for c := c0; c < c1; c++ {
 			poolChannel(in, out, c)
@@ -256,6 +264,8 @@ func (MaxPool2) ForwardInto(in, out *Tensor) {
 }
 
 // poolChannel max-pools one channel.
+//
+//sov:hotpath
 func poolChannel(in, out *Tensor, c int) {
 	for y := 0; y < out.H; y++ {
 		for x := 0; x < out.W; x++ {

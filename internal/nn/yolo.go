@@ -32,6 +32,8 @@ type YOLOHead struct {
 // NewTinyYOLO builds the detector for the given input size with
 // deterministic weights. Three conv+pool stages reduce the input by 8×.
 func NewTinyYOLO(inH, inW, classes int, seed int64) *YOLOHead {
+	// Weight init draws from an explicit caller-provided seed (detrand:
+	// never the global math/rand source).
 	rng := rand.New(rand.NewSource(seed))
 	backbone := &Network{Layers: []Layer{
 		NewConv2D(1, 8, 3, 1, 1, true, rng),

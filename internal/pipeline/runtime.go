@@ -82,6 +82,12 @@ func NewRuntime[T any](queueCap int, stages ...Stage[T]) *Runtime[T] {
 	return r
 }
 
+// worker is stage i's goroutine: pop, run, push, account. The time.Now /
+// time.Since pairs feed only the StageStats diagnostics, which the package
+// contract explicitly excludes from determinism — nothing derived from
+// them touches frame data or the virtual clock.
+//
+//sovlint:wallclock per-stage busy/wait stats are diagnostic only
 func (r *Runtime[T]) worker(i int) {
 	defer r.wg.Done()
 	in := r.rings[i]

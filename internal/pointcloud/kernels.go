@@ -36,6 +36,8 @@ var matchPool parallel.SlicePool[icpMatch]
 // icpMatchOne matches one source point against the target tree and appends
 // the accepted correspondence to out. It is a plain function (not a closure
 // over the iteration state) so the serial path stays allocation-free.
+//
+//sov:hotpath
 func icpMatchOne(tree *KDTree, src *Cloud, tr Tracker, i int, s, c float64, trans mathx.Vec3, reuse []int, out []icpMatch) []icpMatch {
 	src.access(tr, i)
 	p := src.Pts[i]

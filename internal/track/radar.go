@@ -52,8 +52,11 @@ func (rt *RadarTracker) Observe(t time.Duration, returns []sensors.RadarReturn) 
 // dst (grown as needed) and the association scratch is kept on the tracker,
 // so a warm steady state allocates nothing. Filter updates are identical to
 // Observe.
+//
+//sov:hotpath
 func (rt *RadarTracker) ObserveInto(t time.Duration, returns []sensors.RadarReturn, dst []RadarTrack) []RadarTrack {
 	if cap(rt.used) < len(returns) {
+		//sovlint:ignore hotalloc grow path runs only when the return count exceeds every previous frame; amortized zero
 		rt.used = make([]bool, len(returns))
 	}
 	used := rt.used[:len(returns)]

@@ -16,6 +16,8 @@ type Descriptor256 [4]uint64
 // deterministically (ORB learns its pattern offline; a seeded random
 // Gaussian pattern is the classic BRIEF construction).
 var descriptorPattern = func() [256][4]int {
+	// Fixed literal seed (detrand): the pattern must be identical in every
+	// process or descriptors would not match across runs.
 	rng := rand.New(rand.NewSource(0x0B5E55ED))
 	var out [256][4]int
 	for i := range out {

@@ -222,6 +222,8 @@ func (w *World) VisibleObstacles(p Pose, t time.Duration, maxRange, fov float64)
 // capacity) — the zero-allocation variant for per-sensor scratch buffers.
 // The world itself holds no scratch so concurrent sensors can each bring
 // their own.
+//
+//sov:hotpath
 func (w *World) VisibleObstaclesInto(dst []Detection, p Pose, t time.Duration, maxRange, fov float64) []Detection {
 	out := dst
 	for _, o := range w.Obstacles {
@@ -250,6 +252,8 @@ func (w *World) VisibleObstaclesInto(dst []Detection, p Pose, t time.Duration, m
 // forward cone (the reactive path's radar/sonar view). ok is false when
 // nothing is in view. It tracks the minimum inline — no candidate list —
 // because the reactive path polls it tens of times per control cycle.
+//
+//sov:hotpath
 func (w *World) NearestAhead(p Pose, t time.Duration, maxRange, fov float64) (Detection, bool) {
 	var best Detection
 	found := false

@@ -29,11 +29,13 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: fig2|fig3a|fig3b|table1|table2|fig4a|fig4b|fig6|fig8|fig9|fig10|fig11a|fig11b|fig12|reactive|fusion|extensions|csv")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
 	pipelined := flag.Bool("pipeline", false, "run SoV control loops as overlapped pipeline stages (output is identical)")
+	quant := flag.Bool("quant", false, "back perception with the int8 fixed-point kernels (DESIGN.md \u00a78)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 	core.SetPipelineDefault(*pipelined)
+	core.SetQuantDefault(*quant)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -31,11 +31,13 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL per-cycle trace to this path")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
 	pipelined := flag.Bool("pipeline", false, "run the control loop as overlapped pipeline stages (output is identical)")
+	quant := flag.Bool("quant", false, "back perception with the int8 fixed-point kernels (DESIGN.md \u00a78)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
 	cfg := core.DefaultConfig()
 	cfg.Pipeline = *pipelined
+	cfg.Quant = *quant
 	cfg.Seed = *seed
 	if *shuttle {
 		cfg.Vehicle = vehicle.ShuttleParams()

@@ -60,8 +60,20 @@ type Config struct {
 	// on the simulation thread, perception and planning as overlapped
 	// pipeline stages with recycled frame buffers (internal/pipeline).
 	// Virtual-time results are byte-identical to the serial loop; only
-	// wall-clock execution changes.
+	// wall-clock execution changes. On a single-CPU host (GOMAXPROCS=1)
+	// the stage goroutines only add handoff overhead, so Run falls back to
+	// the serial loop unless PipelineForce is set; the decision lands in
+	// Report.PipelineDecision.
 	Pipeline bool
+	// PipelineForce keeps the staged dataflow even when the host has a
+	// single CPU (tests and diagnostics of the pipelined runtime itself).
+	PipelineForce bool
+	// Quant backs perception with the int8 fixed-point kernels
+	// (internal/nn QNetwork, fixed-point ISP/stereo/decode): the dense
+	// scene-understanding latency draws divide by platform.QuantSpeedup,
+	// the software counterpart of moving those tasks onto the FPGA's
+	// fixed-point dataflow (DESIGN.md §8).
+	Quant bool
 
 	// Detector configures the oracle-noise detection channel.
 	Detector detect.Config
@@ -93,10 +105,20 @@ var pipelineDefault = os.Getenv("SOV_PIPELINE") == "1"
 // disable) the pipelined control-loop runtime.
 func SetPipelineDefault(on bool) { pipelineDefault = on }
 
+// quantDefault mirrors pipelineDefault for Config.Quant: the -quant flags
+// seed it, and the SOV_QUANT environment variable lets CI rerun suites on
+// the fixed-point perception path.
+var quantDefault = os.Getenv("SOV_QUANT") == "1"
+
+// SetQuantDefault makes subsequent DefaultConfig calls enable (or disable)
+// the quantized perception path.
+func SetQuantDefault(on bool) { quantDefault = on }
+
 // DefaultConfig returns the deployed configuration.
 func DefaultConfig() Config {
 	return Config{
 		Pipeline:        pipelineDefault,
+		Quant:           quantDefault,
 		Seed:            1,
 		Vehicle:         vehicle.DefaultParams(),
 		TargetSpeed:     5.6,

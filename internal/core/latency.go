@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sov/internal/isp"
+	"sov/internal/platform"
 	"sov/internal/sim"
 )
 
@@ -69,6 +70,17 @@ func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool) late
 		}
 	}
 	d.Detection = time.Duration(det)
+
+	// Quantized perception: the int8 fused kernels back the dense
+	// scene-understanding tasks, dividing their draws by the documented
+	// fixed-point speedup. The factor is a constant, not a host
+	// measurement, so quantized runs stay reproducible across machines
+	// (BenchmarkQuantSpeedup validates the floor). Scaling happens after
+	// the draws so the RNG stream is identical with and without -quant.
+	if m.cfg.Quant {
+		d.Depth = platform.QuantizedLatency(d.Depth)
+		d.Detection = platform.QuantizedLatency(d.Detection)
+	}
 
 	if m.cfg.RadarTracking && radarStable {
 		// Spatial synchronization on the CPU: ~1 ms (Sec. VI-B).

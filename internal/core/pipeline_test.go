@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"math"
+	"runtime"
 	"testing"
 	"time"
+
+	"sov/internal/platform"
 )
 
 // tracedRun executes a cruise run in the given mode and returns the full
@@ -12,6 +16,9 @@ func tracedRun(t *testing.T, pipelined bool, dur time.Duration) (string, *Report
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Pipeline = pipelined
+	// These tests exercise the pipelined runtime itself, so keep it staged
+	// even on a single-CPU host where Run would otherwise fall back.
+	cfg.PipelineForce = pipelined
 	s := New(cfg, CruiseScenario(3))
 	var buf bytes.Buffer
 	tr := NewTracer(&buf)
@@ -85,6 +92,7 @@ func TestPipelinedRunReportsStageDiagnostics(t *testing.T) {
 func TestPipelinedReactivePreemption(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Pipeline = true
+	cfg.PipelineForce = true
 	out := RunSuddenObstacle(cfg, 4.5, 30*time.Second)
 	if !out.Reactive {
 		t.Fatalf("reactive path did not preempt the busy pipeline: %+v", out)
@@ -101,6 +109,78 @@ func TestPipelinedReactivePreemption(t *testing.T) {
 	floor := RunSuddenObstacle(cfg, 2.5, 30*time.Second)
 	if !floor.Collided {
 		t.Fatalf("impossible avoidance succeeded under -pipeline: %+v", floor)
+	}
+}
+
+// TestPipelineSingleCPUFallback: on a GOMAXPROCS=1 host the staged dataflow
+// cannot overlap and only adds handoff overhead, so Run must fall back to
+// the serial loop — recording the decision — unless PipelineForce is set.
+// Virtual-time results are byte-identical in every mode, so the fallback is
+// purely a wall-clock optimization.
+func TestPipelineSingleCPUFallback(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	cfg := DefaultConfig()
+	cfg.Pipeline = true
+	rep := New(cfg, CruiseScenario(3)).Run(5 * time.Second)
+	if rep.Pipeline != nil {
+		t.Fatal("single-CPU run kept the staged dataflow without PipelineForce")
+	}
+	if rep.PipelineDecision != "serial (pipeline fallback: GOMAXPROCS=1)" {
+		t.Fatalf("fallback decision not recorded: %q", rep.PipelineDecision)
+	}
+
+	cfg.PipelineForce = true
+	rep = New(cfg, CruiseScenario(3)).Run(5 * time.Second)
+	if rep.Pipeline == nil {
+		t.Fatal("PipelineForce did not keep the staged dataflow on a single CPU")
+	}
+	if rep.PipelineDecision != "pipelined" {
+		t.Fatalf("forced decision not recorded: %q", rep.PipelineDecision)
+	}
+
+	cfg = DefaultConfig()
+	cfg.Pipeline = false
+	rep = New(cfg, CruiseScenario(3)).Run(5 * time.Second)
+	if rep.PipelineDecision != "serial" {
+		t.Fatalf("serial decision not recorded: %q", rep.PipelineDecision)
+	}
+}
+
+// TestQuantKnobScalesSceneUnderstanding: -quant must divide the dense
+// scene-understanding draws by platform.QuantSpeedup without disturbing any
+// other stage (the RNG stream is shared, so every other draw is identical).
+func TestQuantKnobScalesSceneUnderstanding(t *testing.T) {
+	base := DefaultConfig()
+	quant := base
+	quant.Quant = true
+	refRep := New(base, CruiseScenario(3)).Run(20 * time.Second)
+	qRep := New(quant, CruiseScenario(3)).Run(20 * time.Second)
+
+	if !qRep.QuantizedPerception || refRep.QuantizedPerception {
+		t.Fatal("QuantizedPerception flag not recorded")
+	}
+	if refRep.Cycles != qRep.Cycles {
+		t.Fatalf("cycle count changed under -quant: %d vs %d", refRep.Cycles, qRep.Cycles)
+	}
+	for _, c := range []struct {
+		name     string
+		ref, q   float64
+		expected float64
+	}{
+		{"depth", refRep.Depth.Mean(), qRep.Depth.Mean(), platform.QuantSpeedup},
+		{"detection", refRep.Detection.Mean(), qRep.Detection.Mean(), platform.QuantSpeedup},
+		{"sensing", refRep.Sensing.Mean(), qRep.Sensing.Mean(), 1},
+		{"planning", refRep.Planning.Mean(), qRep.Planning.Mean(), 1},
+		{"localization", refRep.Localization.Mean(), qRep.Localization.Mean(), 1},
+	} {
+		if ratio := c.ref / c.q; math.Abs(ratio-c.expected) > 0.02 {
+			t.Fatalf("%s mean ratio = %.3f, want %.3f", c.name, ratio, c.expected)
+		}
+	}
+	if qRep.Tcomp.Mean() >= refRep.Tcomp.Mean() {
+		t.Fatal("quantized Tcomp did not improve")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"sov/internal/models"
 	"sov/internal/pipeline"
+	"sov/internal/platform"
 	"sov/internal/stats"
 )
 
@@ -41,6 +42,12 @@ type Report struct {
 	// Pipeline holds wall-clock stage/pool diagnostics when the run used
 	// the pipelined runtime; nil for serial runs.
 	Pipeline *PipelineStats
+	// PipelineDecision records how Run resolved the control-loop execution
+	// mode: "serial", "pipelined", or the single-CPU fallback note.
+	PipelineDecision string
+	// QuantizedPerception records whether the run drew scene-understanding
+	// latencies from the int8 fixed-point operating points (-quant).
+	QuantizedPerception bool
 
 	Cycles              int
 	CommandsDelivered   int
@@ -167,6 +174,12 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "navigation: lane-keeping RMS %.3f m\n", r.LateralRMSM)
 	fmt.Fprintf(&b, "pipeline depth (commands in flight at capture): mean=%.2f max=%.0f\n",
 		r.PipelineDepth.Mean(), r.PipelineDepth.Max())
+	if r.PipelineDecision != "" {
+		fmt.Fprintf(&b, "control loop: %s\n", r.PipelineDecision)
+	}
+	if r.QuantizedPerception {
+		fmt.Fprintf(&b, "perception compute: int8 fixed-point operating points (x%.1f)\n", platform.QuantSpeedup)
+	}
 	if p := r.Pipeline; p != nil {
 		fmt.Fprintf(&b, "pipelined runtime (wall clock):\n")
 		for _, st := range p.Stages {

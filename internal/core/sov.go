@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"sov/internal/canbus"
@@ -108,6 +109,7 @@ func New(cfg Config, w *world.World) *SoV {
 	s.battery = vehicle.NewBattery(models.DefaultEnergyModel().CapacityKWh)
 	s.serialFrame = newCycleFrame()
 	s.report.init()
+	s.report.QuantizedPerception = cfg.Quant
 	return s
 }
 
@@ -134,8 +136,18 @@ func (s *SoV) Run(duration time.Duration) *Report {
 	}
 	reactivePeriod := time.Duration(float64(time.Second) / reactiveRate)
 
-	if s.cfg.Pipeline {
+	// The staged dataflow only pays off when stage goroutines can actually
+	// overlap; on a single-CPU host it adds handoff overhead over the
+	// serial loop (virtual-time results are byte-identical either way), so
+	// fall back unless explicitly forced.
+	switch {
+	case !s.cfg.Pipeline:
+		s.report.PipelineDecision = "serial"
+	case runtime.GOMAXPROCS(0) > 1 || s.cfg.PipelineForce:
 		s.startPipeline()
+		s.report.PipelineDecision = "pipelined"
+	default:
+		s.report.PipelineDecision = "serial (pipeline fallback: GOMAXPROCS=1)"
 	}
 	s.engine.Every(physPeriod, "physics", func() { s.physicsStep(physPeriod) })
 	s.engine.Every(ctrlPeriod, "control", s.controlCycle)

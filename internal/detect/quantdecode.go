@@ -1,0 +1,95 @@
+package detect
+
+import (
+	"sov/internal/nn"
+	"sov/internal/parallel"
+)
+
+// Fixed-point detection decode (DESIGN.md §8). The quantized YOLO head hands
+// over its raw int8 grid tensor; cells threshold on raw objectness codes —
+// one int8 comparison — before any sigmoid table lookup, the class argmax
+// runs in the code domain (the sigmoid is monotonic, so the argmax over
+// codes is the argmax over scores), and only surviving cells pay for box
+// assembly. No intermediate GridBox/ClassScores materialize at all.
+
+// decodeQuantBox scores one surviving grid cell from its int8 codes.
+//
+//sov:hotpath
+func decodeQuantBox(raw *nn.QTensor, lut *nn.SigmoidLUT, classes, gy, gx int) BBox {
+	bestC := 0
+	bestCode := int8(-128)
+	base := (5*raw.H+gy)*raw.W + gx
+	plane := raw.H * raw.W
+	for c := 0; c < classes; c++ {
+		if code := raw.Data[base+c*plane]; code > bestCode {
+			bestCode = code
+			bestC = c
+		}
+	}
+	obj := lut.At(raw.At(0, gy, gx))
+	cx := (float32(gx) + lut.At(raw.At(1, gy, gx))) / float32(raw.W)
+	cy := (float32(gy) + lut.At(raw.At(2, gy, gx))) / float32(raw.H)
+	w := lut.At(raw.At(3, gy, gx))
+	h := lut.At(raw.At(4, gy, gx))
+	return BBox{
+		X0:    clamp01(cx - w/2),
+		Y0:    clamp01(cy - h/2),
+		X1:    clamp01(cx + w/2),
+		Y1:    clamp01(cy + h/2),
+		Score: obj * lut.At(bestCode),
+		Class: bestC,
+	}
+}
+
+// DecodeQuantGridInto appends boxes decoded from the quantized head's raw
+// output tensor to dst (reusing its capacity) and returns it. Output order
+// matches the serial row-major cell scan for any worker count, and — because
+// both paths read the same int8 codes through the same table — is identical
+// to decoding the dequantized cells.
+//
+//sov:hotpath
+func DecodeQuantGridInto(dst []BBox, raw *nn.QTensor, classes int, lut *nn.SigmoidLUT, objThreshold float32) []BBox {
+	thr := lut.ThresholdCode(objThreshold)
+	cells := raw.H * raw.W
+	if parallel.Workers() <= 1 || cells < 2*decodeGrain {
+		for gy := 0; gy < raw.H; gy++ {
+			row := raw.Data[gy*raw.W : (gy+1)*raw.W] // objectness plane, row gy
+			for gx, code := range row {
+				if code < thr {
+					continue
+				}
+				dst = append(dst, decodeQuantBox(raw, lut, classes, gy, gx))
+			}
+		}
+		return dst
+	}
+	//sovlint:ignore hotalloc parallel fan-out buckets are per-call bookkeeping, not steady-state frame work
+	buckets := make([][]BBox, parallel.Tiles(cells, decodeGrain))
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
+	parallel.ForTiled(cells, decodeGrain, func(tile, i0, i1 int) {
+		//sovlint:ignore hotalloc per-tile bucket grows only when cells survive the threshold
+		var out []BBox
+		for i := i0; i < i1; i++ {
+			if raw.Data[i] < thr { // objectness plane is the tensor's first H×W block
+				continue
+			}
+			//sovlint:ignore hotalloc survivors are sparse; the bucket stays tiny and dies with the call
+			out = append(out, decodeQuantBox(raw, lut, classes, i/raw.W, i%raw.W))
+		}
+		buckets[tile] = out
+	})
+	for _, b := range buckets {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// RunQuantCNN executes the fixed-point DNN detection path — int8 forward
+// pass, code-domain grid decode, NMS — returning final boxes. The quantized
+// counterpart of RunCNN.
+func RunQuantCNN(model *nn.QYOLOHead, input *nn.Tensor, objThreshold, iouThreshold float32) []BBox {
+	raw := model.ForwardRaw(input)
+	boxes := DecodeQuantGridInto(make([]BBox, 0, 16), raw, model.Classes, model.LUT(), objThreshold)
+	nn.PutQTensor(raw)
+	return NMS(boxes, iouThreshold)
+}

@@ -1,0 +1,116 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"sov/internal/nn"
+	"sov/internal/parallel"
+)
+
+func quantTestModel() (*nn.YOLOHead, *nn.QYOLOHead, *nn.Tensor) {
+	model := nn.NewTinyYOLO(56, 72, 3, 11)
+	calib := nn.NewTensor(1, 56, 72)
+	for i := range calib.Data {
+		calib.Data[i] = float32(i%7) / 7
+	}
+	in := nn.NewTensor(1, 56, 72)
+	for i := range in.Data {
+		in.Data[i] = float32(i%11) / 11
+	}
+	return model, nn.QuantizeYOLO(model, calib), in
+}
+
+// TestDecodeQuantMatchesCellDecode: the fused code-domain decode must be
+// byte-identical to running the quantized inference through the generic
+// GridBox decode — both read the same int8 codes through the same table.
+func TestDecodeQuantMatchesCellDecode(t *testing.T) {
+	_, qy, in := quantTestModel()
+	const thr = 0.35
+	cells := qy.Infer(in)
+	want := DecodeGrid(cells, thr)
+
+	raw := qy.ForwardRaw(in)
+	got := DecodeQuantGridInto(nil, raw, qy.Classes, qy.LUT(), thr)
+	nn.PutQTensor(raw)
+
+	if len(got) != len(want) {
+		t.Fatalf("box count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("box %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDecodeQuantTracksFloatDecode decodes every cell (threshold 0) in both
+// the float and fixed-point paths and checks scores and box coordinates stay
+// within the detection accuracy budget (DESIGN.md §8).
+func TestDecodeQuantTracksFloatDecode(t *testing.T) {
+	model, qy, in := quantTestModel()
+	ref := DecodeGrid(model.Infer(in), 0)
+
+	raw := qy.ForwardRaw(in)
+	got := DecodeQuantGridInto(nil, raw, qy.Classes, qy.LUT(), 0)
+	nn.PutQTensor(raw)
+
+	if len(got) != len(ref) {
+		t.Fatalf("cell count %d != %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if d := math.Abs(float64(got[i].Score - ref[i].Score)); d > 0.08 {
+			t.Fatalf("cell %d score off by %g", i, d)
+		}
+		for _, pair := range [][2]float32{{got[i].X0, ref[i].X0}, {got[i].Y0, ref[i].Y0}, {got[i].X1, ref[i].X1}, {got[i].Y1, ref[i].Y1}} {
+			if d := math.Abs(float64(pair[0] - pair[1])); d > 0.05 {
+				t.Fatalf("cell %d coordinate off by %g", i, d)
+			}
+		}
+	}
+}
+
+// TestDecodeQuantWorkerInvariance: the tiled parallel path must emit boxes
+// in exactly the serial scan order.
+func TestDecodeQuantWorkerInvariance(t *testing.T) {
+	_, qy, in := quantTestModel()
+	raw := qy.ForwardRaw(in)
+	defer nn.PutQTensor(raw)
+
+	prev := parallel.SetWorkers(1)
+	serial := DecodeQuantGridInto(nil, raw, qy.Classes, qy.LUT(), 0.3)
+	parallel.SetWorkers(8)
+	wide := DecodeQuantGridInto(nil, raw, qy.Classes, qy.LUT(), 0.3)
+	parallel.SetWorkers(prev)
+
+	if len(serial) != len(wide) {
+		t.Fatalf("box count %d != %d across worker counts", len(serial), len(wide))
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("box %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestRunQuantCNNEndToEnd mirrors TestRunCNNEndToEnd on the fixed-point path.
+func TestRunQuantCNNEndToEnd(t *testing.T) {
+	_, qy, in := quantTestModel()
+	a := RunQuantCNN(qy, in, 0.3, 0.5)
+	b := RunQuantCNN(qy, in, 0.3, 0.5)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic quantized CNN path")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic quantized CNN path")
+		}
+		if a[i].Score < 0 || a[i].Score > 1 {
+			t.Fatalf("score out of range: %v", a[i].Score)
+		}
+	}
+	strict := RunQuantCNN(qy, in, 0.9, 0.5)
+	if len(strict) > len(a) {
+		t.Fatal("stricter threshold produced more boxes")
+	}
+}

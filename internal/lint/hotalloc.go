@@ -33,11 +33,33 @@ var HotAlloc = &Analyzer{
 // measures. Methods are named "Receiver.Method". Entries must resolve to
 // real functions — TestHotKernelTableFresh fails on drift.
 var hotKernels = map[string][]string{
-	"sov/internal/isp":        {"PixelPipelineConfig.ProcessInto", "boxBlur3Into"},
-	"sov/internal/nn":         {"Conv2D.ForwardInto", "Conv2D.forwardChannel", "MaxPool2.ForwardInto", "poolChannel"},
+	"sov/internal/isp": {
+		"PixelPipelineConfig.ProcessInto", "boxBlur3Into",
+		// Fixed-point pixel chain (DESIGN.md §8).
+		"QuantPixelPipeline.ProcessInto", "qBoxBlur3Into", "qBlurEdge",
+	},
+	"sov/internal/nn": {
+		"Conv2D.ForwardInto", "Conv2D.forwardChannel", "MaxPool2.ForwardInto", "poolChannel",
+		// int8 fused kernels (DESIGN.md §8).
+		"QConv2D.ForwardInto", "QConv2D.forwardChannel", "QConv2D.accEdge",
+		"QMaxPool2.ForwardInto", "qpoolChannel",
+		"QGlobalAvgPool.ForwardInto", "qgapChannel",
+		"QFC.ForwardInto", "QFC.forwardRowQuad", "QFC.forwardRowPair", "QFC.forwardRow", "QFC.forwardTail",
+		"QuantizeTensorInto", "DequantizeTensorInto",
+		"requant.apply", "SigmoidLUT.At", "QYOLOHead.decodeCellQ",
+	},
 	"sov/internal/pointcloud": {"icpMatchOne"},
-	"sov/internal/detect":     {"Detector.DetectInto"},
-	"sov/internal/fusion":     {"SyncScratch.SpatialSyncInto", "FuseAllInto"},
+	"sov/internal/detect": {
+		"Detector.DetectInto",
+		// Fixed-point grid decode (DESIGN.md §8).
+		"DecodeQuantGridInto", "decodeQuantBox",
+	},
+	"sov/internal/fusion": {"SyncScratch.SpatialSyncInto", "FuseAllInto"},
+	"sov/internal/vision": {
+		// Fixed-point stereo cost aggregation and 8-bit frame conversion
+		// (DESIGN.md §8).
+		"sadAtQ", "matchPixelQ", "QuantizeImageInto", "QImage.DequantizeInto",
+	},
 }
 
 // funcKey names a declaration the way hotKernels does.

@@ -1,0 +1,623 @@
+package nn
+
+import (
+	"fmt"
+
+	"sov/internal/parallel"
+)
+
+// QLayer is one stage of a quantized network. Layers consume and produce
+// int8 tensors directly — there is no float round-trip between stages; the
+// requantization from the int32 accumulator domain to the next layer's
+// int8 domain is fused into each kernel.
+type QLayer interface {
+	// ForwardInto computes the layer output into out, which must have the
+	// layer's OutShape and OutParams. Every output element is written.
+	ForwardInto(in, out *QTensor)
+	OutShape(c, h, w int) (int, int, int)
+	// OutParams is the quantization of the layer's output tensor.
+	OutParams() QuantParams
+	Name() string
+}
+
+// ceilDiv returns ceil(a/b) for non-negative a, positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// QConv2D is the fused int8 convolution: conv + bias + ReLU + requantize in
+// one pass. Interior output pixels (full receptive field) accumulate with a
+// zero-point-folded bias over a branch-free inner loop; border pixels take
+// the exact per-tap path. Accumulation is int32 throughout.
+type QConv2D struct {
+	InC, OutC int
+	K         int
+	Stride    int
+	Pad       int
+	Weights   []int8  // [outC][inC][K][K], symmetric per-tensor
+	Bias      []int32 // accumulator domain (inScale × weightScale)
+	// foldedBias is Bias minus zeroIn × Σ(weights of the channel): the
+	// full-window accumulation then needs no per-tap zero-point subtraction.
+	foldedBias []int32
+	InP, OutP  QuantParams
+	WScale     float32
+	ReLU       bool
+	rq         requant
+	zeroIn     int32
+	// scratch is the serial path's int32 accumulator row (grown on first
+	// use, reused forever); parallel workers borrow theirs from the pools.
+	scratch []int32
+}
+
+// NewQConv2D quantizes a float convolution for the given input/output
+// activation quantizations.
+func NewQConv2D(c *Conv2D, in, out QuantParams) *QConv2D {
+	w, ws := quantizeWeights(c.Weights)
+	q := &QConv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		Weights: w, InP: in, OutP: out, WScale: ws, ReLU: c.ReLU,
+		zeroIn: in.Zero,
+	}
+	accScale := in.Scale * ws
+	q.Bias = quantizeBias(c.Bias, accScale)
+	q.foldedBias = make([]int32, c.OutC)
+	per := c.InC * c.K * c.K
+	for o := 0; o < c.OutC; o++ {
+		var wsum int32
+		for _, v := range w[o*per : (o+1)*per] {
+			wsum += int32(v)
+		}
+		q.foldedBias[o] = q.Bias[o] - in.Zero*wsum
+	}
+	q.rq = newRequant(float64(accScale)/float64(out.Scale), out.Zero, c.ReLU)
+	return q
+}
+
+// Name implements QLayer.
+func (c *QConv2D) Name() string { return fmt.Sprintf("qconv%dx%d/%d->%d", c.K, c.K, c.InC, c.OutC) }
+
+// OutShape implements QLayer.
+func (c *QConv2D) OutShape(_, h, w int) (int, int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return c.OutC, oh, ow
+}
+
+// OutParams implements QLayer.
+func (c *QConv2D) OutParams() QuantParams { return c.OutP }
+
+// Forward allocates the output and runs the kernel (test convenience; the
+// hot path is ForwardInto over pooled tensors).
+func (c *QConv2D) Forward(in *QTensor) *QTensor {
+	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
+	out := NewQTensor(oc, oh, ow, c.OutP)
+	c.ForwardInto(in, out)
+	return out
+}
+
+// ForwardInto implements QLayer. Output channels are independent and fan
+// out across the worker pool; integer accumulation is exact, so the output
+// is byte-identical for any worker count.
+//
+//sov:hotpath
+func (c *QConv2D) ForwardInto(in, out *QTensor) {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("nn: qconv input channels %d != %d", in.C, c.InC))
+	}
+	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
+	if out.C != oc || out.H != oh || out.W != ow {
+		panic(fmt.Sprintf("nn: qconv output shape %dx%dx%d != %dx%dx%d", out.C, out.H, out.W, oc, oh, ow))
+	}
+	if parallel.Workers() <= 1 {
+		oxLo, oxHi := c.interior(in.W, ow)
+		if n := oxHi - oxLo; cap(c.scratch) < n {
+			//sovlint:ignore hotalloc first-call scratch growth; warm passes reuse the accumulator row
+			c.scratch = make([]int32, n)
+		}
+		for o := 0; o < oc; o++ {
+			c.forwardChannel(in, out, o, oh, ow, c.scratch)
+		}
+		return
+	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
+	parallel.For(oc, 1, func(o0, o1 int) {
+		oxLo, oxHi := c.interior(in.W, ow)
+		acc := parallel.GetI32(oxHi - oxLo)
+		for o := o0; o < o1; o++ {
+			c.forwardChannel(in, out, o, oh, ow, acc)
+		}
+		parallel.PutI32(acc)
+	})
+}
+
+// interior returns the [oxLo, oxHi) output-column range whose full K-wide
+// window fits horizontally inside the input.
+func (c *QConv2D) interior(inW, ow int) (oxLo, oxHi int) {
+	oxLo = ceilDiv(c.Pad, c.Stride)
+	oxHi = (inW-c.K+c.Pad)/c.Stride + 1
+	if oxLo > ow {
+		oxLo = ow
+	}
+	if oxHi > ow {
+		oxHi = ow
+	}
+	if oxHi < oxLo {
+		oxHi = oxLo
+	}
+	return oxLo, oxHi
+}
+
+// forwardChannel computes one output channel of the fused convolution.
+// Interior output rows accumulate tap-major: each weight is hoisted into a
+// register once and swept across an int32 accumulator row (borrowed from
+// the parallel pools), so the hot loop is a branch-free widening
+// multiply-add with no per-pixel slicing. Integer addition is exact and
+// associative, so the reordering cannot perturb results.
+//
+//sov:hotpath
+func (c *QConv2D) forwardChannel(in, out *QTensor, o, oh, ow int, scratch []int32) {
+	per := c.InC * c.K * c.K
+	wBase := o * per
+	fold := c.foldedBias[o]
+	rq := c.rq
+	oxLo, oxHi := c.interior(in.W, ow)
+	n := oxHi - oxLo
+	acc := scratch[:n]
+	k3s1 := c.K == 3 && c.Stride == 1
+	for oy := 0; oy < oh; oy++ {
+		iy0 := oy*c.Stride - c.Pad
+		rowFull := iy0 >= 0 && iy0+c.K <= in.H
+		outRow := out.Data[(o*oh+oy)*ow : (o*oh+oy+1)*ow]
+		if !rowFull {
+			for ox := 0; ox < ow; ox++ {
+				outRow[ox] = rq.apply(c.accEdge(in, wBase, iy0, ox*c.Stride-c.Pad))
+			}
+			continue
+		}
+		for ox := 0; ox < oxLo; ox++ {
+			outRow[ox] = rq.apply(c.accEdge(in, wBase, iy0, ox*c.Stride-c.Pad))
+		}
+		if n > 0 {
+			for j := range acc {
+				acc[j] = fold
+			}
+			ix0 := oxLo*c.Stride - c.Pad
+			for ic := 0; ic < c.InC; ic++ {
+				wc := wBase + ic*c.K*c.K
+				chanBase := (ic*in.H+iy0)*in.W + ix0
+				for ky := 0; ky < c.K; ky++ {
+					rowBase := chanBase + ky*in.W
+					if k3s1 {
+						w0 := int32(c.Weights[wc+ky*3])
+						w1 := int32(c.Weights[wc+ky*3+1])
+						w2 := int32(c.Weights[wc+ky*3+2])
+						r := in.Data[rowBase : rowBase+n+2]
+						for j, a := range acc {
+							acc[j] = a + w0*int32(r[j]) + w1*int32(r[j+1]) + w2*int32(r[j+2])
+						}
+						continue
+					}
+					for kx := 0; kx < c.K; kx++ {
+						w := int32(c.Weights[wc+ky*c.K+kx])
+						if w == 0 {
+							continue
+						}
+						r := in.Data[rowBase+kx:]
+						for j := range acc {
+							acc[j] += w * int32(r[j*c.Stride])
+						}
+					}
+				}
+			}
+			for j, a := range acc {
+				outRow[oxLo+j] = rq.apply(a)
+			}
+		}
+		for ox := oxHi; ox < ow; ox++ {
+			outRow[ox] = rq.apply(c.accEdge(in, wBase, iy0, ox*c.Stride-c.Pad))
+		}
+	}
+}
+
+// accEdge accumulates one output pixel whose window is clipped by the
+// image border: only valid taps contribute, each with the exact per-tap
+// zero-point subtraction (clipped taps see real 0, which is the zero point
+// itself, so they contribute nothing — identical semantics to the float
+// kernel's implicit zero padding).
+//
+//sov:hotpath
+func (c *QConv2D) accEdge(in *QTensor, wBase, iy0, ix0 int) int32 {
+	ky0, ky1 := 0, c.K
+	if iy0 < 0 {
+		ky0 = -iy0
+	}
+	if iy0+c.K > in.H {
+		ky1 = in.H - iy0
+	}
+	kx0, kx1 := 0, c.K
+	if ix0 < 0 {
+		kx0 = -ix0
+	}
+	if ix0+c.K > in.W {
+		kx1 = in.W - ix0
+	}
+	sum := c.Bias[wBase/(c.InC*c.K*c.K)]
+	zero := c.zeroIn
+	for ic := 0; ic < c.InC; ic++ {
+		wc := wBase + ic*c.K*c.K
+		chanBase := ic * in.H * in.W
+		for ky := ky0; ky < ky1; ky++ {
+			rowBase := chanBase + (iy0+ky)*in.W + ix0
+			wRow := wc + ky*c.K
+			for kx := kx0; kx < kx1; kx++ {
+				sum += int32(c.Weights[wRow+kx]) * (int32(in.Data[rowBase+kx]) - zero)
+			}
+		}
+	}
+	return sum
+}
+
+// QMaxPool2 is the 2×2 stride-2 max pool over int8 codes. Quantization is
+// monotonic, so pooling codes equals pooling real values; parameters pass
+// through unchanged and the kernel is exact.
+type QMaxPool2 struct {
+	P QuantParams
+}
+
+// Name implements QLayer.
+func (QMaxPool2) Name() string { return "qmaxpool2" }
+
+// OutShape implements QLayer.
+func (QMaxPool2) OutShape(c, h, w int) (int, int, int) { return c, h / 2, w / 2 }
+
+// OutParams implements QLayer.
+func (p QMaxPool2) OutParams() QuantParams { return p.P }
+
+// ForwardInto implements QLayer.
+//
+//sov:hotpath
+func (p QMaxPool2) ForwardInto(in, out *QTensor) {
+	if out.C != in.C || out.H != in.H/2 || out.W != in.W/2 {
+		panic(fmt.Sprintf("nn: qpool output shape %dx%dx%d != %dx%dx%d", out.C, out.H, out.W, in.C, in.H/2, in.W/2))
+	}
+	if parallel.Workers() <= 1 {
+		for c := 0; c < in.C; c++ {
+			qpoolChannel(in, out, c)
+		}
+		return
+	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
+	parallel.For(in.C, 1, func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			qpoolChannel(in, out, c)
+		}
+	})
+}
+
+// qpoolChannel max-pools one channel of int8 codes.
+//
+//sov:hotpath
+func qpoolChannel(in, out *QTensor, c int) {
+	for y := 0; y < out.H; y++ {
+		top := in.Data[(c*in.H+2*y)*in.W : (c*in.H+2*y+1)*in.W]
+		bot := in.Data[(c*in.H+2*y+1)*in.W : (c*in.H+2*y+2)*in.W]
+		outRow := out.Data[(c*out.H+y)*out.W : (c*out.H+y+1)*out.W]
+		for x := 0; x < out.W; x++ {
+			m := top[2*x]
+			if v := top[2*x+1]; v > m {
+				m = v
+			}
+			if v := bot[2*x]; v > m {
+				m = v
+			}
+			if v := bot[2*x+1]; v > m {
+				m = v
+			}
+			outRow[x] = m
+		}
+	}
+}
+
+// QGlobalAvgPool averages each channel in the integer domain (rounded
+// division by the pixel count); parameters pass through unchanged.
+type QGlobalAvgPool struct {
+	P QuantParams
+}
+
+// Name implements QLayer.
+func (QGlobalAvgPool) Name() string { return "qgap" }
+
+// OutShape implements QLayer.
+func (QGlobalAvgPool) OutShape(c, _, _ int) (int, int, int) { return c, 1, 1 }
+
+// OutParams implements QLayer.
+func (p QGlobalAvgPool) OutParams() QuantParams { return p.P }
+
+// ForwardInto implements QLayer.
+//
+//sov:hotpath
+func (p QGlobalAvgPool) ForwardInto(in, out *QTensor) {
+	if out.C != in.C || out.H != 1 || out.W != 1 {
+		panic(fmt.Sprintf("nn: qgap output shape %dx%dx%d != %dx1x1", out.C, out.H, out.W, in.C))
+	}
+	n := int32(in.H * in.W)
+	if parallel.Workers() <= 1 {
+		for c := 0; c < in.C; c++ {
+			out.Data[c] = qgapChannel(in, c, n)
+		}
+		return
+	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
+	parallel.For(in.C, 4, func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			out.Data[c] = qgapChannel(in, c, n)
+		}
+	})
+}
+
+// qgapChannel sums one channel and divides with round-half-away-from-zero.
+//
+//sov:hotpath
+func qgapChannel(in *QTensor, c int, n int32) int8 {
+	var sum int32
+	for _, v := range in.Data[c*in.H*in.W : (c+1)*in.H*in.W] {
+		sum += int32(v)
+	}
+	if sum >= 0 {
+		return satInt8((2*sum + n) / (2 * n))
+	}
+	return satInt8(-((2*(-sum) + n) / (2 * n)))
+}
+
+// QFC is the fused int8 fully-connected layer: dot product + bias + ReLU +
+// requantize, with the zero-point folded into the bias (every input element
+// is always valid, so the fold is exact everywhere).
+type QFC struct {
+	In, Out    int
+	Weights    []int8
+	foldedBias []int32
+	InP, OutP  QuantParams
+	WScale     float32
+	ReLU       bool
+	rq         requant
+	// xbuf holds the serial path's widened input row (grown on first use,
+	// reused forever); parallel callers borrow theirs from the pools.
+	xbuf []int32
+}
+
+// NewQFC quantizes a float FC layer for the given activation quantizations.
+func NewQFC(f *FC, in, out QuantParams) *QFC {
+	w, ws := quantizeWeights(f.Weights)
+	q := &QFC{In: f.In, Out: f.Out, Weights: w, InP: in, OutP: out, WScale: ws, ReLU: f.ReLU}
+	accScale := in.Scale * ws
+	bias := quantizeBias(f.Bias, accScale)
+	q.foldedBias = make([]int32, f.Out)
+	for o := 0; o < f.Out; o++ {
+		var wsum int32
+		for _, v := range w[o*f.In : (o+1)*f.In] {
+			wsum += int32(v)
+		}
+		q.foldedBias[o] = bias[o] - in.Zero*wsum
+	}
+	q.rq = newRequant(float64(accScale)/float64(out.Scale), out.Zero, f.ReLU)
+	return q
+}
+
+// Name implements QLayer.
+func (f *QFC) Name() string { return fmt.Sprintf("qfc/%d->%d", f.In, f.Out) }
+
+// OutShape implements QLayer.
+func (f *QFC) OutShape(_, _, _ int) (int, int, int) { return f.Out, 1, 1 }
+
+// OutParams implements QLayer.
+func (f *QFC) OutParams() QuantParams { return f.OutP }
+
+// ForwardInto implements QLayer. The int8 input row is widened to int32
+// once, then output rows are computed two at a time so every input load is
+// shared by two weight rows. Output rows are independent integer dot
+// products — exact for any worker count.
+//
+//sov:hotpath
+func (f *QFC) ForwardInto(in, out *QTensor) {
+	if len(in.Data) != f.In {
+		panic(fmt.Sprintf("nn: qfc input %d != %d", len(in.Data), f.In))
+	}
+	if len(out.Data) != f.Out {
+		panic(fmt.Sprintf("nn: qfc output %d != %d", len(out.Data), f.Out))
+	}
+	quads := f.Out / 4
+	if parallel.Workers() <= 1 {
+		if cap(f.xbuf) < f.In {
+			//sovlint:ignore hotalloc first-call scratch growth; warm passes reuse the widened input row
+			f.xbuf = make([]int32, f.In)
+		}
+		xs := f.xbuf[:f.In]
+		for i, v := range in.Data {
+			xs[i] = int32(v)
+		}
+		for q := 0; q < quads; q++ {
+			f.forwardRowQuad(xs, 4*q, out.Data)
+		}
+		f.forwardTail(xs, 4*quads, out.Data)
+		return
+	}
+	xs := parallel.GetI32(f.In)
+	for i, v := range in.Data {
+		xs[i] = int32(v)
+	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
+	parallel.For(quads, 4, func(q0, q1 int) {
+		for q := q0; q < q1; q++ {
+			f.forwardRowQuad(xs, 4*q, out.Data)
+		}
+	})
+	f.forwardTail(xs, 4*quads, out.Data)
+	parallel.PutI32(xs)
+}
+
+// forwardTail finishes the ≤3 output rows left over by the quad sweep.
+//
+//sov:hotpath
+func (f *QFC) forwardTail(xs []int32, o int, dst []int8) {
+	if o+2 <= f.Out {
+		f.forwardRowPair(xs, o, dst)
+		o += 2
+	}
+	if o < f.Out {
+		dst[o] = f.forwardRow(xs, o)
+	}
+}
+
+// forwardRowQuad computes four fused output elements against the widened
+// input row: each x load feeds four weight rows, so the multiply ports stay
+// saturated while the load traffic per MAC drops to a quarter of the
+// row-at-a-time sweep's.
+//
+//sov:hotpath
+func (f *QFC) forwardRowQuad(xs []int32, o int, dst []int8) {
+	r0 := f.Weights[o*f.In : (o+1)*f.In]
+	r1 := f.Weights[(o+1)*f.In : (o+2)*f.In]
+	r2 := f.Weights[(o+2)*f.In : (o+3)*f.In]
+	r3 := f.Weights[(o+3)*f.In : (o+4)*f.In]
+	xs = xs[:len(r0)]
+	r1 = r1[:len(r0)]
+	r2 = r2[:len(r0)]
+	r3 = r3[:len(r0)]
+	var a, b, c, d int32
+	i := 0
+	for ; i+2 <= len(xs); i += 2 {
+		x0, x1 := xs[i], xs[i+1]
+		a += int32(r0[i])*x0 + int32(r0[i+1])*x1
+		b += int32(r1[i])*x0 + int32(r1[i+1])*x1
+		c += int32(r2[i])*x0 + int32(r2[i+1])*x1
+		d += int32(r3[i])*x0 + int32(r3[i+1])*x1
+	}
+	for ; i < len(xs); i++ {
+		x := xs[i]
+		a += int32(r0[i]) * x
+		b += int32(r1[i]) * x
+		c += int32(r2[i]) * x
+		d += int32(r3[i]) * x
+	}
+	dst[o] = f.rq.apply(f.foldedBias[o] + a)
+	dst[o+1] = f.rq.apply(f.foldedBias[o+1] + b)
+	dst[o+2] = f.rq.apply(f.foldedBias[o+2] + c)
+	dst[o+3] = f.rq.apply(f.foldedBias[o+3] + d)
+}
+
+// forwardRowPair computes two fused output elements against the widened
+// input row: each x load feeds both weight rows, and the ×4 unroll keeps
+// four independent accumulator chains in flight.
+//
+//sov:hotpath
+func (f *QFC) forwardRowPair(xs []int32, o int, dst []int8) {
+	r0 := f.Weights[o*f.In : (o+1)*f.In]
+	r1 := f.Weights[(o+1)*f.In : (o+2)*f.In]
+	xs = xs[:len(r0)]
+	r1 = r1[:len(r0)]
+	var a0, a1, b0, b1 int32
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		a0 += int32(r0[i])*x0 + int32(r0[i+2])*x2
+		a1 += int32(r0[i+1])*x1 + int32(r0[i+3])*x3
+		b0 += int32(r1[i])*x0 + int32(r1[i+2])*x2
+		b1 += int32(r1[i+1])*x1 + int32(r1[i+3])*x3
+	}
+	for ; i < len(xs); i++ {
+		a0 += int32(r0[i]) * xs[i]
+		b0 += int32(r1[i]) * xs[i]
+	}
+	dst[o] = f.rq.apply(f.foldedBias[o] + a0 + a1)
+	dst[o+1] = f.rq.apply(f.foldedBias[o+1] + b0 + b1)
+}
+
+// forwardRow computes one fused output element: widened dot product with
+// four independent accumulator chains (the odd trailing row of a pair-wise
+// sweep).
+//
+//sov:hotpath
+func (f *QFC) forwardRow(xs []int32, o int) int8 {
+	row := f.Weights[o*f.In : (o+1)*f.In]
+	xs = xs[:len(row)]
+	var a0, a1, a2, a3 int32
+	i := 0
+	for ; i+4 <= len(row); i += 4 {
+		a0 += int32(row[i]) * xs[i]
+		a1 += int32(row[i+1]) * xs[i+1]
+		a2 += int32(row[i+2]) * xs[i+2]
+		a3 += int32(row[i+3]) * xs[i+3]
+	}
+	acc := f.foldedBias[o] + a0 + a1 + a2 + a3
+	for ; i < len(row); i++ {
+		acc += int32(row[i]) * xs[i]
+	}
+	return f.rq.apply(acc)
+}
+
+// QNetwork is an ordered stack of quantized layers with the input tensor's
+// quantization.
+type QNetwork struct {
+	Layers   []QLayer
+	InParams QuantParams
+}
+
+// ForwardPooled runs the stack with every intermediate activation borrowed
+// from the quantized tensor pools; a warm steady state allocates nothing.
+// The returned tensor is pooled — release it with PutQTensor (unless it is
+// the input itself, returned unchanged for an empty stack).
+func (n *QNetwork) ForwardPooled(in *QTensor) *QTensor {
+	cur := in
+	for _, l := range n.Layers {
+		c, h, w := l.OutShape(cur.C, cur.H, cur.W)
+		out := GetQTensor(c, h, w, l.OutParams())
+		l.ForwardInto(cur, out)
+		if cur != in {
+			PutQTensor(cur)
+		}
+		cur = out
+	}
+	return cur
+}
+
+// OutParams returns the quantization of the network's output tensor.
+func (n *QNetwork) OutParams() QuantParams {
+	if len(n.Layers) == 0 {
+		return n.InParams
+	}
+	return n.Layers[len(n.Layers)-1].OutParams()
+}
+
+// QuantizeNetwork converts a float network into a fused int8 network.
+// calib is a representative input: each activation's quantization is fitted
+// to its observed range on the calibration pass (weights quantize
+// symmetrically per tensor; biases land in the int32 accumulator domain).
+// The float network is left untouched.
+func QuantizeNetwork(net *Network, calib *Tensor) *QNetwork {
+	qn := &QNetwork{}
+	lo, hi := tensorRange(calib)
+	cur := ChooseQuantParams(lo, hi)
+	qn.InParams = cur
+	act := calib
+	for _, l := range net.Layers {
+		out := l.Forward(act)
+		switch t := l.(type) {
+		case *Conv2D:
+			olo, ohi := tensorRange(out)
+			op := ChooseQuantParams(olo, ohi)
+			qn.Layers = append(qn.Layers, NewQConv2D(t, cur, op))
+			cur = op
+		case *FC:
+			olo, ohi := tensorRange(out)
+			op := ChooseQuantParams(olo, ohi)
+			qn.Layers = append(qn.Layers, NewQFC(t, cur, op))
+			cur = op
+		case MaxPool2:
+			qn.Layers = append(qn.Layers, QMaxPool2{P: cur})
+		case GlobalAvgPool:
+			qn.Layers = append(qn.Layers, QGlobalAvgPool{P: cur})
+		default:
+			panic("nn: cannot quantize layer " + l.Name())
+		}
+		act = out
+	}
+	return qn
+}

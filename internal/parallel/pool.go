@@ -167,6 +167,36 @@ func (p *SlicePool[T]) Stats() (hits, misses int64) {
 	return p.hits, p.misses
 }
 
+type i32Pools struct{ classes [poolClasses]sync.Pool }
+
+var i32pool i32Pools
+
+// GetI32 returns an int32 scratch slice of length n (contents unspecified) —
+// the cost vectors of the fixed-point stereo kernels.
+func GetI32(n int) []int32 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if v := i32pool.classes[c].Get(); v != nil {
+		return (*(v.(*[]int32)))[:n]
+	}
+	return make([]int32, n, 1<<c)
+}
+
+// PutI32 returns a slice obtained from GetI32 to its pool.
+func PutI32(s []int32) {
+	if cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) {
+		c--
+	}
+	full := s[:cap(s)]
+	i32pool.classes[c].Put(&full)
+}
+
 type intPools struct{ classes [poolClasses]sync.Pool }
 
 var intpool intPools

@@ -129,6 +129,37 @@ func Catalog() map[string]*Processor {
 	}
 }
 
+// QuantSpeedup is the fixed-point speedup backing the quantized operating
+// points: int8 fused kernels (conv+bias+ReLU, FC, SAD cost aggregation, ISP
+// pixel chain) against their float32 counterparts. It is a documented
+// constant rather than a runtime measurement so simulated latencies stay
+// reproducible across machines; BenchmarkQuantSpeedup validates the floor
+// (fused int8 conv/FC ≥ 1.5× the float path) on every bench run.
+const QuantSpeedup = 1.8
+
+// QuantizedLatency maps a float-path operating point to its fixed-point
+// counterpart.
+func QuantizedLatency(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / QuantSpeedup)
+}
+
+// QuantizedCatalog returns the catalog with the dense perception tasks
+// (depth, detection, tracking) moved to their int8 fixed-point operating
+// points. Localization is untouched — the FPGA accelerator already runs a
+// fixed-point dataflow, which is exactly why its operating point is this
+// cheap — and planning is not a dense kernel.
+func QuantizedCatalog() map[string]*Processor {
+	cat := Catalog()
+	for _, p := range cat {
+		for _, t := range []Task{TaskDepth, TaskDetection, TaskTracking} {
+			if lat, ok := p.Latency[t]; ok {
+				p.Latency[t] = QuantizedLatency(lat)
+			}
+		}
+	}
+	return cat
+}
+
 // TX2CumulativePerception returns the serial latency of running all three
 // perception tasks on the TX2 (the paper: 844.2 ms — far beyond real-time).
 func TX2CumulativePerception() time.Duration {

@@ -167,6 +167,40 @@ func TestAcceleratorResources(t *testing.T) {
 	}
 }
 
+func TestQuantizedCatalog(t *testing.T) {
+	if QuantSpeedup < 1.5 {
+		t.Fatalf("QuantSpeedup = %v below the documented 1.5x floor", QuantSpeedup)
+	}
+	ref := Catalog()
+	q := QuantizedCatalog()
+	for name, p := range q {
+		for _, task := range []Task{TaskDepth, TaskDetection, TaskTracking} {
+			lat, ok := p.Latency[task]
+			if !ok {
+				continue
+			}
+			if want := QuantizedLatency(ref[name].Latency[task]); lat != want {
+				t.Fatalf("%s/%v quantized to %v, want %v", name, task, lat, want)
+			}
+		}
+		// Localization stays at the float-path point: the FPGA accelerator
+		// is already a fixed-point dataflow.
+		if loc, ok := p.Latency[TaskLocalization]; ok && loc != ref[name].Latency[TaskLocalization] {
+			t.Fatalf("%s localization must not be rescaled", name)
+		}
+	}
+	// The deployed mapping must get cheaper, and stay valid.
+	refRes, err1 := EvaluateMapping(OurDesign(), ref)
+	qRes, err2 := EvaluateMapping(OurDesign(), q)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if qRes.PerceptionLatency >= refRes.PerceptionLatency {
+		t.Fatalf("quantized perception %v not faster than float %v",
+			qRes.PerceptionLatency, refRes.PerceptionLatency)
+	}
+}
+
 func TestTaskStrings(t *testing.T) {
 	if TaskDepth.String() == "" || Task(99).String() == "" {
 		t.Fatal("empty task string")

@@ -1,0 +1,177 @@
+package vision
+
+import "sov/internal/parallel"
+
+// Fixed-point stereo cost aggregation (DESIGN.md §8). The SAD search over
+// 8-bit codes accumulates in int32 — exact integer arithmetic, no clamping
+// branches on the interior fast path — and only the final sub-pixel parabola
+// touches floating point. Disparities land within a tested budget of the
+// float matcher while the cost loop runs several times faster.
+
+// sadAtQ computes the int32 sum of absolute differences between a
+// (2*half+1)² patch in left at (x, y) and in right at (x-d, y).
+//
+//sov:hotpath
+func sadAtQ(left, right *QImage, x, y, d, half int) int32 {
+	if x-half >= 0 && x+half < left.W && y-half >= 0 && y+half < left.H &&
+		x-d-half >= 0 && x-d+half < right.W {
+		// Interior: both patches are fully inside their images, so the rows
+		// are contiguous subslices and the inner loop is branch-free.
+		var sad int32
+		for dy := -half; dy <= half; dy++ {
+			lo := (y+dy)*left.W + x - half
+			lrow := left.Pix[lo : lo+2*half+1]
+			rrow := right.Pix[(y+dy)*right.W+x-d-half:]
+			for i, lv := range lrow {
+				diff := int32(lv) - int32(rrow[i])
+				if diff < 0 {
+					diff = -diff
+				}
+				sad += diff
+			}
+		}
+		return sad
+	}
+	var sad int32
+	for dy := -half; dy <= half; dy++ {
+		for dx := -half; dx <= half; dx++ {
+			diff := int32(left.At(x+dx, y+dy)) - int32(right.At(x+dx-d, y+dy))
+			if diff < 0 {
+				diff = -diff
+			}
+			sad += diff
+		}
+	}
+	return sad
+}
+
+// matchPixelQ is the fixed-point matchPixel: best disparity in [dMin, dMax]
+// by int32 SAD with the same uniqueness check and sub-pixel parabola as the
+// float path. scratch holds per-candidate costs (borrow via parallel.GetI32).
+//
+//sov:hotpath
+func matchPixelQ(left, right *QImage, x, y, dMin, dMax, half int, scratch []int32) float32 {
+	if dMin < 0 {
+		dMin = 0
+	}
+	if dMax > x {
+		dMax = x // right image column would be negative
+	}
+	if dMax < dMin {
+		return -1
+	}
+	const maxCost = int32(1) << 30
+	best, second := maxCost, maxCost
+	bestD := -1
+	costs := scratch
+	if cap(costs) < dMax-dMin+1 {
+		//sovlint:ignore hotalloc fallback for nil scratch; the matchers pass pooled GetI32 buffers
+		costs = make([]int32, dMax-dMin+1)
+	}
+	costs = costs[:dMax-dMin+1]
+	for d := dMin; d <= dMax; d++ {
+		c := sadAtQ(left, right, x, y, d, half)
+		costs[d-dMin] = c
+		if c < best {
+			second = best
+			best = c
+			bestD = d
+		} else if c < second {
+			second = c
+		}
+	}
+	if bestD < 0 {
+		return -1
+	}
+	// Uniqueness, all-integer: second < best*1.05  ⟺  20*second < 21*best.
+	if dMax > dMin && 20*second < 21*best {
+		return -1
+	}
+	// Sub-pixel parabola fit around the minimum.
+	d := float64(bestD)
+	i := bestD - dMin
+	if i > 0 && i < len(costs)-1 {
+		c0, c1, c2 := costs[i-1], costs[i], costs[i+1]
+		if denom := c0 - 2*c1 + c2; denom > 0 {
+			d += 0.5 * float64(c0-c2) / float64(denom)
+		}
+	}
+	return float32(d)
+}
+
+// BlockMatchQuant is the fixed-point BlockMatch: exhaustive int32-SAD search
+// over 8-bit frames. Output layout and validity semantics are identical to
+// the float matcher's.
+func BlockMatchQuant(left, right *QImage, maxDisp, half int) *DisparityMap {
+	m := &DisparityMap{W: left.W, H: left.H, D: make([]float32, left.W*left.H)}
+	parallel.ForRows(left.H, func(y0, y1 int) {
+		costs := parallel.GetI32(maxDisp + 1)
+		for y := y0; y < y1; y++ {
+			for x := 0; x < left.W; x++ {
+				m.D[y*m.W+x] = matchPixelQ(left, right, x, y, 0, maxDisp, half, costs)
+			}
+		}
+		parallel.PutI32(costs)
+	})
+	return m
+}
+
+// SupportPointsQuant matches a sparse grid of points with the fixed-point
+// matcher; output order matches the serial row-major scan exactly.
+func SupportPointsQuant(left, right *QImage, maxDisp, half, stride int) []SupportPoint {
+	nRows := 0
+	for y := half; y < left.H-half; y += stride {
+		nRows++
+	}
+	buckets := make([][]SupportPoint, parallel.Tiles(nRows, 1))
+	parallel.ForTiled(nRows, 1, func(tile, r0, r1 int) {
+		costs := parallel.GetI32(maxDisp + 1)
+		var rows []SupportPoint
+		for r := r0; r < r1; r++ {
+			y := half + r*stride
+			for x := half; x < left.W-half; x += stride {
+				d := matchPixelQ(left, right, x, y, 0, maxDisp, half, costs)
+				if d >= 0 {
+					rows = append(rows, SupportPoint{X: x, Y: y, D: d})
+				}
+			}
+		}
+		buckets[tile] = rows
+		parallel.PutI32(costs)
+	})
+	var out []SupportPoint
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// SupportPointStereoQuant is the fixed-point ELAS-style matcher: sparse
+// support points build a disparity prior, then each pixel searches a narrow
+// band with the int32-SAD kernel.
+func SupportPointStereoQuant(left, right *QImage, maxDisp, half, stride, band int) *DisparityMap {
+	sps := SupportPointsQuant(left, right, maxDisp, half, stride)
+	m := &DisparityMap{W: left.W, H: left.H, D: make([]float32, left.W*left.H)}
+	if len(sps) == 0 {
+		for i := range m.D {
+			m.D[i] = -1
+		}
+		return m
+	}
+	parallel.ForRows(left.H, func(y0, y1 int) {
+		costs := parallel.GetI32(maxDisp + 1)
+		for y := y0; y < y1; y++ {
+			for x := 0; x < left.W; x++ {
+				prior := interpolatePrior(sps, x, y)
+				dMin := int(prior) - band
+				dMax := int(prior) + band
+				if dMax > maxDisp {
+					dMax = maxDisp
+				}
+				m.D[y*m.W+x] = matchPixelQ(left, right, x, y, dMin, dMax, half, costs)
+			}
+		}
+		parallel.PutI32(costs)
+	})
+	return m
+}

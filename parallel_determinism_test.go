@@ -14,6 +14,7 @@ import (
 
 	"sov/internal/core"
 	"sov/internal/detect"
+	"sov/internal/isp"
 	"sov/internal/mathx"
 	"sov/internal/nn"
 	"sov/internal/parallel"
@@ -183,6 +184,74 @@ func TestDetectionDecodeDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestQuantKernelsDeterministicAcrossWorkers covers the fixed-point
+// perception kernels (DESIGN.md §8): the int8 NN forward pass and YOLO
+// decode, quantized stereo matchers, fixed-point ISP chain, and the
+// code-domain detection decode must be bit-identical across worker counts —
+// integer arithmetic makes this exact, not approximate.
+func TestQuantKernelsDeterministicAcrossWorkers(t *testing.T) {
+	// Quantized network + YOLO decode.
+	y := nn.NewTinyYOLO(48, 64, 3, 21)
+	calib := nn.NewTensor(1, 48, 64)
+	for i := range calib.Data {
+		calib.Data[i] = float32(i%13) / 13
+	}
+	qy := nn.QuantizeYOLO(y, calib)
+	probe := nn.NewTensor(1, 48, 64)
+	for i := range probe.Data {
+		probe.Data[i] = float32(i%7) / 7
+	}
+	var cells1, cells8 []nn.GridBox
+	var boxes1, boxes8 []detect.BBox
+	atWorkers(1, func() {
+		cells1 = qy.Infer(probe)
+		raw := qy.ForwardRaw(probe)
+		boxes1 = detect.DecodeQuantGridInto(nil, raw, qy.Classes, qy.LUT(), 0.3)
+		nn.PutQTensor(raw)
+	})
+	atWorkers(8, func() {
+		cells8 = qy.Infer(probe)
+		raw := qy.ForwardRaw(probe)
+		boxes8 = detect.DecodeQuantGridInto(nil, raw, qy.Classes, qy.LUT(), 0.3)
+		nn.PutQTensor(raw)
+	})
+	if !reflect.DeepEqual(cells1, cells8) {
+		t.Fatal("quantized YOLO decode differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(boxes1, boxes8) {
+		t.Fatal("quantized grid decode differs between workers=1 and workers=8")
+	}
+
+	// Quantized stereo matchers.
+	leftF, rightF := benchStereoPair(128, 96)
+	left, right := vision.QuantizeImage(leftF), vision.QuantizeImage(rightF)
+	var bm1, bm8, sp1, sp8 *vision.DisparityMap
+	atWorkers(1, func() {
+		bm1 = vision.BlockMatchQuant(left, right, 16, 2)
+		sp1 = vision.SupportPointStereoQuant(left, right, 16, 2, 8, 3)
+	})
+	atWorkers(8, func() {
+		bm8 = vision.BlockMatchQuant(left, right, 16, 2)
+		sp8 = vision.SupportPointStereoQuant(left, right, 16, 2, 8, 3)
+	})
+	if !reflect.DeepEqual(bm1, bm8) {
+		t.Fatal("BlockMatchQuant differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(sp1, sp8) {
+		t.Fatal("SupportPointStereoQuant differs between workers=1 and workers=8")
+	}
+
+	// Fixed-point ISP chain (serial kernel, but run under both settings to
+	// pin the contract alongside the others).
+	qp := isp.DefaultPixelPipeline().Quantized()
+	var isp1, isp8 *vision.QImage
+	atWorkers(1, func() { isp1 = qp.Process(left) })
+	atWorkers(8, func() { isp8 = qp.Process(left) })
+	if !reflect.DeepEqual(isp1, isp8) {
+		t.Fatal("fixed-point ISP differs between workers=1 and workers=8")
+	}
+}
+
 // TestCoreSimulationDeterministicAcrossWorkers drives the full SoV control
 // loop — concurrent perception-branch dispatch included — and asserts the
 // per-cycle trace and headline report figures are bit-identical across
@@ -215,9 +284,45 @@ func TestCoreSimulationDeterministicAcrossPipelineModes(t *testing.T) {
 	}
 }
 
+// TestCoreSimulationQuantDeterministicAcrossModes: the quantized perception
+// path must keep the same determinism contract — serial and pipelined runs
+// at worker counts 1 and 8 produce bit-identical traces and reports.
+func TestCoreSimulationQuantDeterministicAcrossModes(t *testing.T) {
+	ref, repRef := tracedQuantCruise(t, 1, false)
+	if !repRef.QuantizedPerception {
+		t.Fatal("quant run did not record QuantizedPerception")
+	}
+	for _, c := range []struct {
+		workers   int
+		pipelined bool
+	}{{1, true}, {8, false}, {8, true}} {
+		tr, rep := tracedQuantCruise(t, c.workers, c.pipelined)
+		if tr != ref {
+			t.Fatalf("quant trace at workers=%d pipeline=%v differs from serial workers=1",
+				c.workers, c.pipelined)
+		}
+		assertSameCruise(t, repRef, rep)
+	}
+	// And the knob actually changes the drawn latencies: a float-path run
+	// must NOT match the quantized trace.
+	floatTr, _ := tracedCruise(t, 1, false)
+	if floatTr == ref {
+		t.Fatal("quantized trace identical to float trace; the knob is inert")
+	}
+}
+
 // tracedCruise runs the 5 s reference cruise under the given worker count
 // and control-loop mode, returning the full trace and report.
 func tracedCruise(t *testing.T, workers int, pipelined bool) (string, *core.Report) {
+	return cruiseWith(t, workers, pipelined, false)
+}
+
+// tracedQuantCruise is tracedCruise on the int8 fixed-point perception path.
+func tracedQuantCruise(t *testing.T, workers int, pipelined bool) (string, *core.Report) {
+	return cruiseWith(t, workers, pipelined, true)
+}
+
+func cruiseWith(t *testing.T, workers int, pipelined, quant bool) (string, *core.Report) {
 	t.Helper()
 	var buf bytes.Buffer
 	var rep *core.Report
@@ -225,6 +330,9 @@ func tracedCruise(t *testing.T, workers int, pipelined bool) (string, *core.Repo
 		cfg := core.DefaultConfig()
 		cfg.Seed = 4
 		cfg.Pipeline = pipelined
+		// Keep the staged dataflow under test even on a single-CPU host.
+		cfg.PipelineForce = pipelined
+		cfg.Quant = quant
 		s := core.New(cfg, core.CruiseScenario(4))
 		tr := core.NewTracer(&buf)
 		s.AttachTracer(tr)

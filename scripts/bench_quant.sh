@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench_quant.sh — run BenchmarkQuantSpeedup and emit a machine-readable
+# snapshot as BENCH_quant.json: for every perception kernel with a
+# fixed-point twin (fused conv, fused FC, ISP pixel chain, stereo block
+# match, end-to-end detection), the float32 and int8 ns/op, the speedup
+# ratio, and the int8 path's allocs/op (the zero-steady-state-allocation
+# contract, DESIGN.md §8).
+#
+# Usage: scripts/bench_quant.sh [output.json]
+#
+# The ISSUE floor is >=1.5x on the fused conv and FC kernels; the JSON is
+# the committed evidence, regenerated wholesale by re-running this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_quant.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkQuantSpeedup' -benchmem -benchtime 500ms . | tee "$raw" >&2
+
+awk '
+/^BenchmarkQuantSpeedup\// {
+    name = $1
+    sub(/^BenchmarkQuantSpeedup\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    split(name, parts, "/")
+    kernel = parts[1]; variant = parts[2]
+    if (!(kernel in seen)) { order[++nk] = kernel; seen[kernel] = 1 }
+    delete m
+    for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
+    ns[kernel, variant] = m["ns/op"]
+    al[kernel, variant] = m["allocs/op"]
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n  \"benchmark\": \"BenchmarkQuantSpeedup\",\n  \"results\": [\n"
+    for (k = 1; k <= nk; k++) {
+        kr = order[k]
+        f = ns[kr, "float32"]; q = ns[kr, "int8"]
+        printf "%s    {\"kernel\": \"%s\", \"float32_ns_per_op\": %s, \"int8_ns_per_op\": %s, \"speedup\": %.2f, \"int8_allocs_per_op\": %s}",
+            (k > 1 ? ",\n" : ""), kr, f, q, f / q, al[kr, "int8"]
+    }
+    printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu
+}
+' "$raw" > "$out"
+
+echo "wrote $out" >&2

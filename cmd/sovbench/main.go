@@ -6,6 +6,12 @@
 //
 //	sovbench [-duration 120s] [-seed 1] [-points 4000] [-only fig10] [-workers N]
 //	         [-pipeline] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	         [-metrics m.prom] [-spans s.json] [-blackbox b.jsonl]
+//
+// The telemetry flags attach the unified observability layer to the Fig. 10
+// characterization cruise: when any is set, an instrumented characterization
+// run executes (replacing the plain one under -only fig10) and its registry
+// exposition, span file, and flight-recorder dumps land at the given paths.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"sov/internal/core"
 	"sov/internal/experiments"
+	"sov/internal/obs"
 	"sov/internal/parallel"
 )
 
@@ -32,6 +39,9 @@ func main() {
 	quant := flag.Bool("quant", false, "back perception with the int8 fixed-point kernels (DESIGN.md \u00a78)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	metricsPath := flag.String("metrics", "", "attach a metrics registry to the characterization cruise and write its exposition here (.json for JSON, else Prometheus text)")
+	spansPath := flag.String("spans", "", "attach span tracing to the characterization cruise and write Chrome trace_event JSON here")
+	boxPath := flag.String("blackbox", "", "attach the flight recorder to the characterization cruise and write anomaly dumps (JSONL) here")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 	core.SetPipelineDefault(*pipelined)
@@ -65,9 +75,17 @@ func main() {
 		}()
 	}
 
+	telemetry := *metricsPath != "" || *spansPath != "" || *boxPath != ""
+
 	if *only == "" {
 		fmt.Print(experiments.All(*seed, *duration, *points))
+		if telemetry {
+			runInstrumented(*seed, *duration, *metricsPath, *spansPath, *boxPath)
+		}
 		return
+	}
+	if telemetry && strings.ToLower(*only) != "fig10" {
+		defer runInstrumented(*seed, *duration, *metricsPath, *spansPath, *boxPath)
 	}
 	switch strings.ToLower(*only) {
 	case "fig2":
@@ -91,8 +109,12 @@ func main() {
 	case "fig9":
 		fmt.Print(experiments.Fig9RPR())
 	case "fig10":
-		out, _ := experiments.Fig10Characterization(*seed, *duration)
-		fmt.Print(out)
+		if telemetry {
+			runInstrumented(*seed, *duration, *metricsPath, *spansPath, *boxPath)
+		} else {
+			out, _ := experiments.Fig10Characterization(*seed, *duration)
+			fmt.Print(out)
+		}
 	case "fig11a":
 		fmt.Print(experiments.Fig11aDepthSync())
 	case "fig11b":
@@ -110,4 +132,86 @@ func main() {
 	default:
 		fmt.Printf("unknown experiment %q\n", *only)
 	}
+}
+
+// runInstrumented executes the telemetry-attached characterization cruise
+// and writes the requested artifacts.
+func runInstrumented(seed int64, duration time.Duration, metricsPath, spansPath, boxPath string) {
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	var spans *obs.SpanWriter
+	var spansFile *os.File
+	if spansPath != "" {
+		f, err := os.Create(spansPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spans:", err)
+			return
+		}
+		spansFile = f
+		spans = obs.NewSpanWriter(f)
+	}
+	var box *obs.FlightRecorder
+	var boxFile *os.File
+	if boxPath != "" {
+		f, err := os.Create(boxPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blackbox:", err)
+			return
+		}
+		boxFile = f
+		box = obs.NewFlightRecorder(f, 64, 3)
+	}
+
+	out, _ := experiments.Fig10Instrumented(seed, duration, reg, spans, box)
+	fmt.Print(out)
+
+	if reg != nil {
+		if err := writeMetrics(reg, metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		} else {
+			fmt.Printf("metrics: registry snapshot -> %s\n", metricsPath)
+		}
+	}
+	if spans != nil {
+		n, err := spans.Close()
+		if cerr := spansFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spans:", err)
+		} else {
+			fmt.Printf("spans: %d events -> %s\n", n, spansPath)
+		}
+	}
+	if box != nil {
+		n, err := box.Close()
+		if cerr := boxFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blackbox:", err)
+		} else {
+			fmt.Printf("blackbox: %d dumps -> %s\n", n, boxPath)
+		}
+	}
+}
+
+// writeMetrics renders the registry to path: JSON for .json paths, the
+// Prometheus text exposition otherwise. Host-class metrics are included.
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = reg.WriteJSON(f, true)
+	} else {
+		err = reg.WriteText(f, true)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

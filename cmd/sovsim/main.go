@@ -5,6 +5,7 @@
 //
 //	sovsim [-duration 120s] [-seed 1] [-no-fpga] [-no-sync] [-no-reactive]
 //	       [-no-radar-tracking] [-em-planner] [-workers N] [-pipeline]
+//	       [-trace t.jsonl] [-metrics m.prom] [-spans s.json] [-blackbox b.jsonl]
 package main
 
 import (
@@ -12,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"sov/internal/core"
+	"sov/internal/obs"
 	"sov/internal/parallel"
 	"sov/internal/vehicle"
 )
@@ -29,9 +32,13 @@ func main() {
 	emPlanner := flag.Bool("em-planner", false, "use the EM-style DP+QP planner instead of MPC")
 	shuttle := flag.Bool("shuttle", false, "run the 8-seater shuttle instead of the 2-seater pod")
 	tracePath := flag.String("trace", "", "write a JSONL per-cycle trace to this path")
+	metricsPath := flag.String("metrics", "", "write the metrics registry exposition to this path (.json for the JSON snapshot, else Prometheus text)")
+	spansPath := flag.String("spans", "", "write per-cycle stage spans (Chrome trace_event JSON, Perfetto-loadable) to this path")
+	boxPath := flag.String("blackbox", "", "write flight-recorder anomaly dumps (JSONL) to this path")
+	boxDepth := flag.Int("blackbox-depth", 64, "flight-recorder ring depth in cycles")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
 	pipelined := flag.Bool("pipeline", false, "run the control loop as overlapped pipeline stages (output is identical)")
-	quant := flag.Bool("quant", false, "back perception with the int8 fixed-point kernels (DESIGN.md \u00a78)")
+	quant := flag.Bool("quant", false, "back perception with the int8 fixed-point kernels (DESIGN.md §8)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
@@ -61,6 +68,34 @@ func main() {
 		tracer = core.NewTracer(f)
 		s.AttachTracer(tracer)
 	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		s.AttachMetrics(reg)
+	}
+	var spans *obs.SpanWriter
+	if *spansPath != "" {
+		f, err := os.Create(*spansPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spans:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		spans = obs.NewSpanWriter(f)
+		s.AttachSpans(spans)
+	}
+	var box *obs.FlightRecorder
+	if *boxPath != "" {
+		f, err := os.Create(*boxPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blackbox:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		// Three blocked cycles in a row is already an anomaly at 10 Hz.
+		box = obs.NewFlightRecorder(f, *boxDepth, 3)
+		s.AttachFlightRecorder(box)
+	}
 	rep := s.Run(*duration)
 	if tracer != nil {
 		if n, err := tracer.Close(); err != nil {
@@ -69,10 +104,51 @@ func main() {
 			fmt.Printf("trace: %d records -> %s\n", n, *tracePath)
 		}
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		} else {
+			fmt.Printf("metrics: registry snapshot -> %s\n", *metricsPath)
+		}
+	}
+	if spans != nil {
+		if n, err := spans.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "spans:", err)
+		} else {
+			fmt.Printf("spans: %d events -> %s\n", n, *spansPath)
+		}
+	}
+	if box != nil {
+		if n, err := box.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "blackbox:", err)
+		} else {
+			fmt.Printf("blackbox: %d dumps -> %s\n", n, *boxPath)
+		}
+	}
 	fmt.Printf("SoV cruise: %v simulated, seed %d\n", *duration, *seed)
 	fmt.Print(rep.Render())
 	if rep.Collisions > 0 {
 		fmt.Fprintln(os.Stderr, "warning: collisions occurred")
 		os.Exit(1)
 	}
+}
+
+// writeMetrics renders the registry to path: the JSON snapshot for .json
+// paths, the Prometheus text exposition otherwise. Host-class metrics are
+// included — the file is a diagnostic artifact; determinism-sensitive
+// consumers read only the virtual section (the text form separates them).
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = reg.WriteJSON(f, true)
+	} else {
+		err = reg.WriteText(f, true)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

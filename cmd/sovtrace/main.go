@@ -1,37 +1,58 @@
-// Command sovtrace re-analyzes an archived JSONL run trace (produced by
-// `sovsim -trace`), recomputing the headline latency and distance
-// statistics offline — the analysis half of the Fig. 1 vehicle-statistics
-// loop.
+// Command sovtrace re-analyzes archived run telemetry offline — the
+// analysis half of the Fig. 1 vehicle-statistics loop.
 //
 // Usage:
 //
-//	sovtrace <trace.jsonl>
+//	sovtrace <trace.jsonl>           re-analyze a JSONL per-cycle trace
+//	                                 (produced by `sovsim -trace`)
+//	sovtrace -spans <spans.json>     analyze a Chrome trace_event span file
+//	                                 (produced by `sovsim -spans`): per-stage
+//	                                 latency percentiles and perception
+//	                                 critical-path attribution per cycle
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"sov/internal/core"
+	"sov/internal/obs"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Println("usage: sovtrace <trace.jsonl>")
+	spansMode := flag.Bool("spans", false, "treat the input as a Chrome trace_event span file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Println("usage: sovtrace [-spans] <file>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *spansMode {
+		sum, err := obs.SummarizeSpans(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(sum.Render())
+		return
+	}
+
 	sum, err := core.SummarizeTrace(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("cycles: %d (%d blocked)\n", sum.Cycles, sum.BlockedCycles)
+	if sum.MalformedLines > 0 {
+		fmt.Printf("malformed lines skipped: %d\n", sum.MalformedLines)
+	}
 	fmt.Printf("distance: %.0f m\n", sum.DistanceM)
 	fmt.Printf("Tcomp: %s ms\n", sum.TcompMs)
 	fmt.Printf("in-flight commands at capture: mean=%.2f max=%.0f\n",

@@ -128,7 +128,29 @@ type Bus struct {
 
 	pending []Frame
 	busyFor time.Duration
+
+	stats BusStats
 }
+
+// BusStats counts the segment's traffic for the telemetry layer. All four
+// counters advance in virtual-time order, so they are deterministic for a
+// fixed scenario.
+type BusStats struct {
+	// Submitted counts frames queued for arbitration.
+	Submitted int64
+	// Windows counts arbitration rounds that carried at least one frame.
+	Windows int64
+	// Deferred counts frames that lost arbitration to a higher-priority
+	// frame in their window and waited for the bus (the "arbitration loss"
+	// counter — CAN arbitration is lossless but not waitless).
+	Deferred int64
+	// CommandQueries counts CommandLatency evaluations (the control loop's
+	// per-cycle Tdata draw).
+	CommandQueries int64
+}
+
+// Stats returns the segment's traffic counters.
+func (b *Bus) Stats() BusStats { return b.stats }
 
 // NewBus returns a 500 kbit/s bus with controller delays calibrated so a
 // command frame's end-to-end Tdata is ≈1 ms.
@@ -147,6 +169,7 @@ func (b *Bus) TransmitTime(f Frame) time.Duration {
 // Submit queues a frame for the current arbitration window.
 func (b *Bus) Submit(f Frame) {
 	b.pending = append(b.pending, f)
+	b.stats.Submitted++
 }
 
 // Delivery is a frame paired with its arrival latency relative to the start
@@ -167,6 +190,8 @@ func (b *Bus) Arbitrate() []Delivery {
 	}
 	frames := b.pending
 	b.pending = nil
+	b.stats.Windows++
+	b.stats.Deferred += int64(len(frames) - 1)
 	sort.SliceStable(frames, func(i, j int) bool { return frames[i].ID < frames[j].ID })
 	out := make([]Delivery, len(frames))
 	elapsed := b.busyFor
@@ -185,5 +210,6 @@ func (b *Bus) CommandLatency() time.Duration {
 	if err != nil {
 		panic(err) // zero command is always encodable
 	}
+	b.stats.CommandQueries++
 	return b.TransmitTime(f) + 2*b.ControllerDelay
 }

@@ -97,6 +97,9 @@ func (s *SoV) startPipeline() {
 			if fr.encodeOK {
 				if err := s.ecu.Receive(fr.cmdFrame); err == nil {
 					s.report.CommandsDelivered++
+					if s.obsM != nil {
+						s.obsM.delivered.Inc()
+					}
 				}
 			}
 			s.framePool.Put(fr)
@@ -127,6 +130,7 @@ func (s *SoV) stopPipeline() {
 	s.pipe.Drain()
 	s.pipe.Stop()
 	s.report.Pipeline = &PipelineStats{Stages: s.pipe.Stats(), Pool: s.framePool.Stats()}
+	s.emitHostSpans(s.report.Pipeline)
 	s.pipe = nil
 	s.framePool = nil
 }
@@ -227,6 +231,7 @@ func (s *SoV) captureInto(fr *cycleFrame) {
 	fr.inflight = len(s.outstanding)
 	s.report.PipelineDepth.Observe(float64(fr.inflight))
 	s.outstanding = append(s.outstanding, fr.t0+fr.d.Tcomp+fr.tdata)
+	s.observeCycleMetrics(fr)
 }
 
 // perceiveFrame runs the perception stage on a captured frame: camera
@@ -278,15 +283,23 @@ func (s *SoV) planFrame(fr *cycleFrame) {
 	fr.blocked = p.Blocked
 	if p.Blocked {
 		s.report.BlockedCycles++
+		if s.obsM != nil {
+			s.obsM.blocked.Inc()
+		}
 	}
 	fr.objects = len(fr.fused)
 	s.recordTrace(fr)
+	s.recordSpans(fr)
+	s.recordBox(fr)
 
 	cmd := p.Cmd
 	cmd.Seq = fr.seq
 	frame, err := canbus.EncodeCommand(canbus.IDControlCommand, cmd)
 	if err != nil {
 		s.report.EncodeErrors++
+		if s.obsM != nil {
+			s.obsM.encodeErr.Inc()
+		}
 		fr.encodeOK = false
 		return
 	}

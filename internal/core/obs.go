@@ -1,0 +1,304 @@
+package core
+
+import (
+	"time"
+
+	"sov/internal/obs"
+	"sov/internal/parallel"
+)
+
+// This file wires the unified telemetry layer (internal/obs) into the
+// control loop. The split follows the determinism boundary documented in
+// dataflow.go: everything recorded per cycle derives from frame snapshots
+// (capture-time values), so metrics, spans, and flight-recorder content on
+// the virtual track are byte-identical across worker counts and control-loop
+// modes. Host wall-clock diagnostics (pipeline stage utilization, parallel
+// substrate scheduling) are published as ClassHost metrics and on the
+// PIDHost span track, outside the byte-identity contract.
+
+// Span thread lanes on the virtual-time track, one per control-loop stage.
+// The order mirrors the causal chain: capture → sensing → perception
+// {depth, detect, track, vio} → planning → deliver (CAN) → actuate (Tmech).
+const (
+	tidCapture = 1 + iota
+	tidSensing
+	tidPerception
+	tidDepth
+	tidDetect
+	tidTrack
+	tidVIO
+	tidPlanning
+	tidDeliver
+	tidActuate
+)
+
+// Span names are package constants so the hot record path never builds
+// strings (see obs.SpanWriter's allocation contract).
+const (
+	spanCapture    = "capture"
+	spanSensing    = "sensing"
+	spanPerception = "perception"
+	spanDepth      = "depth"
+	spanDetect     = "detect"
+	spanTrack      = "track"
+	spanVIO        = "vio"
+	spanPlanning   = "planning"
+	spanDeliver    = "deliver"
+	spanActuate    = "actuate"
+)
+
+// Host-track stage lanes (one per pipeline stage, in Runtime order).
+const tidHostStageBase = 1
+
+// coreMetrics bundles the SoV's registry handles. The steady-state handles
+// are created at attach time; run-summary metrics register lazily at the
+// first publish so repeated Runs on one SoV update rather than re-register.
+type coreMetrics struct {
+	reg *obs.Registry
+
+	// Steady-state instruments (touched every cycle; allocation-free).
+	cycles     *obs.Counter
+	delivered  *obs.Counter
+	blocked    *obs.Counter
+	reactive   *obs.Counter
+	encodeErr  *obs.Counter
+	collisions *obs.Counter
+	tcompMs    *obs.Histogram
+	e2eMs      *obs.Histogram
+	inflightH  *obs.Histogram
+
+	// Lazily registered run-summary handles, plus the previously published
+	// totals so cumulative sources (ECU, rigs, bus) publish deltas and stay
+	// monotone counters across repeated Runs.
+	counters map[string]*obs.Counter
+	gauges   map[string]*obs.Gauge
+	prev     map[string]int64
+
+	// par0 scopes the process-wide parallel substrate counters to this run.
+	par0 parallel.Counters
+}
+
+// AttachMetrics registers the control loop's steady-state instruments on reg
+// and arranges for run-summary metrics (safety, energy, subsystem activity,
+// host diagnostics) to be published at the end of each Run. Call before Run.
+func (s *SoV) AttachMetrics(reg *obs.Registry) {
+	m := &coreMetrics{
+		reg:      reg,
+		counters: make(map[string]*obs.Counter),
+		gauges:   make(map[string]*obs.Gauge),
+		prev:     make(map[string]int64),
+	}
+	m.cycles = reg.Counter("sov_cycles_total", "control cycles captured", obs.ClassVirtual)
+	m.delivered = reg.Counter("sov_commands_delivered_total", "commands accepted by the ECU", obs.ClassVirtual)
+	m.blocked = reg.Counter("sov_blocked_cycles_total", "cycles where the planner found no feasible trajectory", obs.ClassVirtual)
+	m.reactive = reg.Counter("sov_reactive_engagements_total", "reactive-path safety engagements", obs.ClassVirtual)
+	m.encodeErr = reg.Counter("sov_encode_errors_total", "commands that failed CAN encoding", obs.ClassVirtual)
+	m.collisions = reg.Counter("sov_collisions_total", "obstacle contacts", obs.ClassVirtual)
+	m.tcompMs = reg.Histogram("sov_tcomp_ms", "per-cycle computing latency Tcomp (ms)", obs.ClassVirtual, 0, 800, 40)
+	m.e2eMs = reg.Histogram("sov_e2e_ms", "end-to-end latency Tcomp+Tdata+Tmech (ms)", obs.ClassVirtual, 0, 800, 40)
+	m.inflightH = reg.Histogram("sov_inflight_commands", "commands in flight at capture (virtual pipeline depth)", obs.ClassVirtual, 0, 8, 8)
+	s.obsM = m
+}
+
+// AttachSpans streams per-cycle stage spans of subsequent runs to sw. Call
+// before Run; the caller owns Close.
+func (s *SoV) AttachSpans(sw *obs.SpanWriter) {
+	sw.DeclareProcess(obs.PIDVirtual, "sov virtual time")
+	sw.DeclareThread(obs.PIDVirtual, tidCapture, spanCapture)
+	sw.DeclareThread(obs.PIDVirtual, tidSensing, spanSensing)
+	sw.DeclareThread(obs.PIDVirtual, tidPerception, spanPerception)
+	sw.DeclareThread(obs.PIDVirtual, tidDepth, spanDepth)
+	sw.DeclareThread(obs.PIDVirtual, tidDetect, spanDetect)
+	sw.DeclareThread(obs.PIDVirtual, tidTrack, spanTrack)
+	sw.DeclareThread(obs.PIDVirtual, tidVIO, spanVIO)
+	sw.DeclareThread(obs.PIDVirtual, tidPlanning, spanPlanning)
+	sw.DeclareThread(obs.PIDVirtual, tidDeliver, spanDeliver)
+	sw.DeclareThread(obs.PIDVirtual, tidActuate, spanActuate)
+	s.spans = sw
+}
+
+// AttachFlightRecorder feeds every control cycle of subsequent runs into the
+// recorder's ring and raises its anomaly triggers. Call before Run; the
+// caller owns Close.
+func (s *SoV) AttachFlightRecorder(f *obs.FlightRecorder) { s.box = f }
+
+// observeCycleMetrics records the capture-time steady-state metrics. Called
+// at the end of captureInto, on the engine thread.
+func (s *SoV) observeCycleMetrics(fr *cycleFrame) {
+	m := s.obsM
+	if m == nil {
+		return
+	}
+	m.cycles.Inc()
+	m.tcompMs.Observe(ms(fr.d.Tcomp))
+	m.inflightH.Observe(float64(fr.inflight))
+}
+
+// observeE2E files one cycle's end-to-end latency with the report and, when
+// attached, the metrics registry.
+func (s *SoV) observeE2E(total time.Duration) {
+	s.report.observeE2E(total)
+	if s.obsM != nil {
+		s.obsM.e2eMs.Observe(ms(total))
+	}
+}
+
+// recordSpans emits one cycle's stage spans from frame snapshots. Runs on
+// the plan stage (the only SpanWriter caller during a run), so pipelined and
+// serial modes produce identical event sets; the writer's sort-at-Close
+// keeps each lane monotonic regardless of latency overlap between cycles.
+func (s *SoV) recordSpans(fr *cycleFrame) {
+	sw := s.spans
+	if sw == nil {
+		return
+	}
+	t0 := fr.t0
+	c := fr.cycle
+	// Capture is instantaneous in virtual time: a zero-duration anchor
+	// carrying the cycle id.
+	sw.Span(obs.PIDVirtual, tidCapture, spanCapture, "", c, t0, 0)
+	sw.Span(obs.PIDVirtual, tidSensing, spanSensing, spanCapture, c, t0, fr.d.Sensing)
+	pStart := t0 + fr.d.Sensing
+	sw.Span(obs.PIDVirtual, tidPerception, spanPerception, spanSensing, c, pStart, fr.d.Perception)
+	// Perception's concurrent leaves: depth and detect start with the stage;
+	// track chains serially after detect; vio (localization) races the
+	// scene-understanding group (latencyModel.draw).
+	sw.Span(obs.PIDVirtual, tidDepth, spanDepth, spanPerception, c, pStart, fr.d.Depth)
+	sw.Span(obs.PIDVirtual, tidDetect, spanDetect, spanPerception, c, pStart, fr.d.Detection)
+	sw.Span(obs.PIDVirtual, tidTrack, spanTrack, spanPerception, c, pStart+fr.d.Detection, fr.d.Tracking)
+	sw.Span(obs.PIDVirtual, tidVIO, spanVIO, spanPerception, c, pStart, fr.d.Localization)
+	sw.Span(obs.PIDVirtual, tidPlanning, spanPlanning, spanPerception, c, pStart+fr.d.Perception, fr.d.Planning)
+	sw.Span(obs.PIDVirtual, tidDeliver, spanDeliver, spanPlanning, c, t0+fr.d.Tcomp, fr.tdata)
+	sw.Span(obs.PIDVirtual, tidActuate, spanActuate, spanDeliver, c, t0+fr.d.Tcomp+fr.tdata, s.cfg.Vehicle.MechLatency)
+}
+
+// recordBox files one cycle with the flight recorder. Runs on the plan
+// stage; all fields are capture-time snapshots, so ring content at any
+// virtual time is mode-independent.
+func (s *SoV) recordBox(fr *cycleFrame) {
+	if s.box == nil {
+		return
+	}
+	s.box.Record(obs.CycleRecord{
+		Cycle:        fr.cycle,
+		TMs:          fr.t0.Seconds() * 1000,
+		X:            fr.st.Pos.X,
+		Y:            fr.st.Pos.Y,
+		Speed:        fr.st.Speed,
+		SensingMs:    ms(fr.d.Sensing),
+		PerceptionMs: ms(fr.d.Perception),
+		PlanningMs:   ms(fr.d.Planning),
+		TcompMs:      ms(fr.d.Tcomp),
+		Objects:      fr.objects,
+		Blocked:      fr.blocked,
+		Reactive:     fr.overrideActive,
+		InFlight:     fr.inflight,
+	})
+}
+
+// counterSet publishes a cumulative total under name, registering the
+// counter on first use and adding only the delta since the last publish so
+// the metric stays monotone across repeated Runs.
+func (m *coreMetrics) counterSet(name, help string, class obs.Class, total int64) {
+	c := m.counters[name]
+	if c == nil {
+		c = m.reg.Counter(name, help, class)
+		m.counters[name] = c
+	}
+	if d := total - m.prev[name]; d > 0 {
+		c.Add(d)
+	}
+	m.prev[name] = total
+}
+
+// gaugeSet publishes a point-in-time value, registering on first use.
+func (m *coreMetrics) gaugeSet(name, help string, class obs.Class, v float64) {
+	g := m.gauges[name]
+	if g == nil {
+		g = m.reg.Gauge(name, help, class)
+		m.gauges[name] = g
+	}
+	g.Set(v)
+}
+
+// publishRunMetrics files the run-summary metrics after report.finish: the
+// virtual-time safety/energy/subsystem totals, then the host-class pipeline
+// and parallel-substrate diagnostics. Cold path — runs once per Run.
+func (s *SoV) publishRunMetrics() {
+	m := s.obsM
+	if m == nil {
+		return
+	}
+	r := &s.report
+
+	// Vehicle + safety summary (virtual).
+	m.gaugeSet("sov_distance_m", "odometer distance covered", obs.ClassVirtual, r.DistanceM)
+	m.gaugeSet("sov_min_clearance_m", "closest obstacle approach over the run", obs.ClassVirtual, r.MinClearance)
+	m.gaugeSet("sov_lateral_rms_m", "lane-keeping RMS error", obs.ClassVirtual, r.LateralRMSM)
+	m.gaugeSet("sov_proactive_fraction", "share of driving time not under reactive override", obs.ClassVirtual, r.ProactiveFraction)
+	m.gaugeSet("sov_ad_energy_wh", "autonomous-driving system energy over the run", obs.ClassVirtual, r.ADEnergyWh)
+	m.gaugeSet("sov_battery_soc", "battery state of charge at end of run", obs.ClassVirtual, s.battery.SoC)
+
+	// ECU (virtual): every state transition happens at a virtual-time event.
+	frames, overrides, rejected := s.ecu.Stats()
+	m.counterSet("sov_ecu_frames_total", "CAN frames processed by the ECU", obs.ClassVirtual, int64(frames))
+	m.counterSet("sov_ecu_overrides_total", "reactive override frames accepted", obs.ClassVirtual, int64(overrides))
+	m.counterSet("sov_ecu_rejected_total", "malformed frames dropped by the ECU", obs.ClassVirtual, int64(rejected))
+
+	// CAN segment (virtual).
+	bs := s.bus.Stats()
+	m.counterSet("sov_can_frames_submitted_total", "frames queued for bus arbitration", obs.ClassVirtual, bs.Submitted)
+	m.counterSet("sov_can_arbitration_windows_total", "arbitration rounds carrying frames", obs.ClassVirtual, bs.Windows)
+	m.counterSet("sov_can_arbitration_deferred_total", "frames that lost arbitration and waited", obs.ClassVirtual, bs.Deferred)
+	m.counterSet("sov_can_command_queries_total", "per-cycle command latency evaluations", obs.ClassVirtual, bs.CommandQueries)
+
+	// Sensor rigs (virtual: engine-thread-only, virtual-time ordered).
+	rs := s.radarRig.Stats()
+	m.counterSet("sov_radar_scans_total", "per-unit radar scans", obs.ClassVirtual, rs.Scans)
+	m.counterSet("sov_radar_echoes_total", "merged radar returns", obs.ClassVirtual, rs.Echoes)
+	m.counterSet("sov_radar_sector_queries_total", "radar reactive-sector queries", obs.ClassVirtual, rs.SectorQueries)
+	ss := s.sonarRig.Stats()
+	m.counterSet("sov_sonar_pings_total", "sonar pings issued", obs.ClassVirtual, ss.Pings)
+	m.counterSet("sov_sonar_sector_queries_total", "sonar reactive-sector queries", obs.ClassVirtual, ss.SectorQueries)
+
+	// Parallel substrate (host: the pool/inline split depends on scheduling).
+	par := parallel.CounterSnapshot()
+	m.counterSet("sov_parallel_runs_total", "parallel fan-out invocations this process", obs.ClassHost, par.Runs-m.par0.Runs+m.prev["sov_parallel_runs_total"])
+	m.counterSet("sov_parallel_tiles_total", "tiles executed across all fan-outs", obs.ClassHost, par.Tiles-m.par0.Tiles+m.prev["sov_parallel_tiles_total"])
+	m.counterSet("sov_parallel_pool_tiles_total", "tiles claimed via the shared pool queue", obs.ClassHost, par.PoolTiles-m.par0.PoolTiles+m.prev["sov_parallel_pool_tiles_total"])
+	m.par0 = par
+
+	// Pipelined runtime (host wall-clock) when the run used it.
+	if p := r.Pipeline; p != nil {
+		for _, st := range p.Stages {
+			m.counterSet("sov_pipe_"+st.Name+"_frames_total", "frames processed by the stage", obs.ClassHost, st.Frames)
+			m.gaugeSet("sov_pipe_"+st.Name+"_busy_ms", "stage busy wall-clock time", obs.ClassHost, st.Busy.Seconds()*1000)
+			m.gaugeSet("sov_pipe_"+st.Name+"_wait_ms", "stage idle wall-clock time", obs.ClassHost, st.Wait.Seconds()*1000)
+			m.counterSet("sov_pipe_"+st.Name+"_queue_stalls_total", "submissions that found the stage queue full", obs.ClassHost, st.Queue.FullStalls)
+			m.gaugeSet("sov_pipe_"+st.Name+"_queue_mean_occupancy", "mean inbound queue occupancy", obs.ClassHost, st.Queue.MeanOcc)
+			m.gaugeSet("sov_pipe_"+st.Name+"_queue_max_occupancy", "max inbound queue occupancy", obs.ClassHost, float64(st.Queue.MaxOcc))
+		}
+		m.counterSet("sov_pipe_pool_news_total", "frames allocated by the pool", obs.ClassHost, p.Pool.News)
+		m.counterSet("sov_pipe_pool_reuses_total", "frames recycled by the pool", obs.ClassHost, p.Pool.Reuses)
+	}
+}
+
+// emitHostSpans files the pipelined runtime's wall-clock utilization on the
+// host span track: per stage, a busy span followed by a wait span, so the
+// Perfetto lane reads as a utilization bar. Called after the stage
+// goroutines have joined.
+func (s *SoV) emitHostSpans(p *PipelineStats) {
+	sw := s.spans
+	if sw == nil || p == nil {
+		return
+	}
+	sw.DeclareProcess(obs.PIDHost, "host wall-clock (pipeline diagnostics)")
+	for i, st := range p.Stages {
+		tid := tidHostStageBase + i
+		sw.DeclareThread(obs.PIDHost, tid, st.Name)
+		// Stage names come from the static Runtime construction, never from
+		// user input, so embedding them in thread metadata is JSON-safe.
+		sw.Span(obs.PIDHost, tid, "busy", "", 0, 0, st.Busy)
+		sw.Span(obs.PIDHost, tid, "wait", "busy", 0, st.Busy, st.Wait)
+	}
+}

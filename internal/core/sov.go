@@ -10,6 +10,8 @@ import (
 	"sov/internal/detect"
 	"sov/internal/mathx"
 	"sov/internal/models"
+	"sov/internal/obs"
+	"sov/internal/parallel"
 	"sov/internal/pipeline"
 	"sov/internal/planning"
 	"sov/internal/rpr"
@@ -47,6 +49,11 @@ type SoV struct {
 
 	battery *vehicle.Battery
 	tracer  *Tracer
+
+	// Telemetry attachments (nil unless Attach* was called before Run).
+	obsM  *coreMetrics
+	spans *obs.SpanWriter
+	box   *obs.FlightRecorder
 
 	report Report
 	cycle  int
@@ -154,9 +161,13 @@ func (s *SoV) Run(duration time.Duration) *Report {
 	if s.cfg.ReactivePath {
 		s.engine.Every(reactivePeriod, "reactive", s.reactiveCheck)
 	}
+	if s.obsM != nil {
+		s.obsM.par0 = parallel.CounterSnapshot()
+	}
 	s.engine.Run(duration)
 	s.stopPipeline()
 	s.report.finish(duration, s)
+	s.publishRunMetrics()
 	return &s.report
 }
 
@@ -179,6 +190,12 @@ func (s *SoV) physicsStep(dt time.Duration) {
 		if clear < 0 && !s.report.collided[o.ID] {
 			s.report.collided[o.ID] = true
 			s.report.Collisions++
+			if s.obsM != nil {
+				s.obsM.collisions.Inc()
+			}
+			if s.box != nil {
+				s.box.Trigger(obs.TriggerCollision, ms(now))
+			}
 		}
 	}
 	if s.ecu.OverrideActive() {
@@ -212,7 +229,7 @@ func (s *SoV) controlCycle() {
 	// bus (Tdata) and takes effect after Tmech inside the vehicle model.
 	// The CAN frame is copied into a recycled delivery slot: the serial
 	// frame is reused next cycle, long before this delivery fires.
-	s.report.observeE2E(fr.d.Tcomp + fr.tdata + s.cfg.Vehicle.MechLatency)
+	s.observeE2E(fr.d.Tcomp + fr.tdata + s.cfg.Vehicle.MechLatency)
 	s.scheduleDelivery(fr.d.Tcomp+fr.tdata, fr.cmdFrame)
 }
 
@@ -235,6 +252,9 @@ func (s *SoV) scheduleDelivery(delay time.Duration, frame canbus.Frame) {
 		sl.fire = func() {
 			if err := s.ecu.Receive(sl.frame); err == nil {
 				s.report.CommandsDelivered++
+				if s.obsM != nil {
+					s.obsM.delivered.Inc()
+				}
 			}
 			s.freeSlots = append(s.freeSlots, sl)
 		}
@@ -252,7 +272,7 @@ func (s *SoV) scheduleDelivery(delay time.Duration, frame canbus.Frame) {
 func (s *SoV) pipedCycle() {
 	fr := s.framePool.Get()
 	s.captureInto(fr)
-	s.report.observeE2E(fr.d.Tcomp + fr.tdata + s.cfg.Vehicle.MechLatency)
+	s.observeE2E(fr.d.Tcomp + fr.tdata + s.cfg.Vehicle.MechLatency)
 	s.engine.Schedule(fr.d.Tcomp+fr.tdata, "command-delivery", fr.deliver)
 	s.pipe.Submit(fr)
 }
@@ -288,9 +308,18 @@ func (s *SoV) reactiveCheck() {
 		return
 	}
 	s.report.ReactiveEngagements++
+	if s.obsM != nil {
+		s.obsM.reactive.Inc()
+	}
+	if s.box != nil {
+		s.box.Trigger(obs.TriggerReactive, ms(now))
+	}
 	frame, err := canbus.EncodeCommand(canbus.IDReactiveOverride, canbus.Command{EStop: true, Seq: s.seq})
 	if err != nil {
 		s.report.EncodeErrors++
+		if s.obsM != nil {
+			s.obsM.encodeErr.Inc()
+		}
 		return
 	}
 	s.engine.Schedule(s.cfg.ReactiveLatency, "reactive-override", func() {

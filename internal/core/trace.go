@@ -3,7 +3,6 @@ package core
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"io"
 	"math"
 
@@ -44,7 +43,9 @@ func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: bufio.NewWriter(w)}
 }
 
-// Record appends one line.
+// Record appends one line. The marshaled bytes and the terminating newline
+// are written separately: appending '\n' to json.Marshal's exactly-sized
+// result would reallocate the slice on every record.
 func (t *Tracer) Record(r TraceRecord) {
 	if t.err != nil {
 		return
@@ -54,19 +55,33 @@ func (t *Tracer) Record(r TraceRecord) {
 		t.err = err
 		return
 	}
-	if _, err := t.w.Write(append(b, '\n')); err != nil {
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
 		t.err = err
 		return
 	}
 	t.n++
 }
 
-// Close flushes and reports the record count and first error.
-func (t *Tracer) Close() (int, error) {
+// Err returns the first error the tracer hit, without flushing.
+func (t *Tracer) Err() error { return t.err }
+
+// Flush pushes buffered records to the underlying writer and returns the
+// tracer's first error (including any flush error), with the same semantics
+// Close reports.
+func (t *Tracer) Flush() error {
 	if err := t.w.Flush(); t.err == nil {
 		t.err = err
 	}
-	return t.n, t.err
+	return t.err
+}
+
+// Close flushes and reports the record count and first error.
+func (t *Tracer) Close() (int, error) {
+	return t.n, t.Flush()
 }
 
 // AttachTracer streams every control cycle of subsequent runs to the
@@ -81,10 +96,17 @@ type TraceSummary struct {
 	InFlight      stats.Summary
 	DistanceM     float64
 	BlockedCycles int
+	// MalformedLines counts lines that failed to parse and were skipped —
+	// a truncated tail from a crashed run must not hide the rest of the
+	// archive. Callers that need strictness can reject summaries with a
+	// non-zero count.
+	MalformedLines int
 }
 
 // SummarizeTrace reads a JSONL trace and recomputes the run's headline
-// statistics, erroring on malformed lines.
+// statistics. Malformed lines are skipped and counted in MalformedLines
+// rather than aborting the analysis; an empty trace yields a zero summary
+// and no error.
 func SummarizeTrace(r io.Reader) (TraceSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
@@ -100,7 +122,8 @@ func SummarizeTrace(r io.Reader) (TraceSummary, error) {
 		}
 		var rec TraceRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return out, fmt.Errorf("core: bad trace line %d: %w", out.Cycles+1, err)
+			out.MalformedLines++
+			continue
 		}
 		out.Cycles++
 		tcomp.Observe(rec.TcompMs)

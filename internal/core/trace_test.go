@@ -53,13 +53,33 @@ func TestTraceSummaryMatchesReport(t *testing.T) {
 	}
 }
 
-func TestSummarizeTraceRejectsGarbage(t *testing.T) {
-	if _, err := SummarizeTrace(strings.NewReader("not json\n")); err == nil {
-		t.Fatal("expected parse error")
+func TestSummarizeTraceSkipsGarbage(t *testing.T) {
+	// Malformed lines are skipped and counted: a truncated tail from a
+	// crashed run must not hide the rest of the archive.
+	in := `{"cycle":1,"t_ms":0,"x":0,"y":0,"tcomp_ms":150,"inflight":1}
+not json
+{"cycle":2,"t_ms":100,"x":1,"y":0,"tcomp_ms":170,"inflight":2,"blocked":true}
+{"cycle":3,"t_ms":200,"x":2,"y":0,"tcomp_ms":160,"inf` // truncated mid-record
+	sum, err := SummarizeTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Empty trace is fine.
-	sum, err := SummarizeTrace(strings.NewReader(""))
-	if err != nil || sum.Cycles != 0 {
+	if sum.Cycles != 2 || sum.MalformedLines != 2 {
+		t.Fatalf("cycles=%d malformed=%d, want 2 and 2", sum.Cycles, sum.MalformedLines)
+	}
+	if sum.BlockedCycles != 1 {
+		t.Fatalf("blocked=%d, want 1", sum.BlockedCycles)
+	}
+	if math.Abs(sum.TcompMs.Mean-160) > 1e-9 {
+		t.Fatalf("Tcomp mean %.1f, want 160", sum.TcompMs.Mean)
+	}
+	if math.Abs(sum.DistanceM-1) > 1e-9 {
+		t.Fatalf("distance %.2f, want 1", sum.DistanceM)
+	}
+
+	// Empty trace yields a zero summary, no error.
+	sum, err = SummarizeTrace(strings.NewReader(""))
+	if err != nil || sum.Cycles != 0 || sum.MalformedLines != 0 {
 		t.Fatalf("empty trace: %+v err=%v", sum, err)
 	}
 }

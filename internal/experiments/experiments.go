@@ -18,6 +18,7 @@ import (
 	"sov/internal/core"
 	"sov/internal/mathx"
 	"sov/internal/models"
+	"sov/internal/obs"
 	"sov/internal/platform"
 	"sov/internal/pointcloud"
 	"sov/internal/rpr"
@@ -304,6 +305,28 @@ func Fig10Characterization(seed int64, duration time.Duration) (string, *core.Re
 	w := core.CruiseScenario(seed)
 	rep := core.New(cfg, w).Run(duration)
 	return "Fig. 10 — on-vehicle latency characterization\n" + rep.Render(), rep
+}
+
+// Fig10Instrumented is Fig10Characterization with the unified telemetry
+// layer attached: any non-nil registry, span writer, or flight recorder is
+// wired into the run (sovbench's -metrics/-spans/-blackbox flags). The
+// caller owns closing the span writer and recorder.
+func Fig10Instrumented(seed int64, duration time.Duration, reg *obs.Registry, spans *obs.SpanWriter, box *obs.FlightRecorder) (string, *core.Report) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	w := core.CruiseScenario(seed)
+	s := core.New(cfg, w)
+	if reg != nil {
+		s.AttachMetrics(reg)
+	}
+	if spans != nil {
+		s.AttachSpans(spans)
+	}
+	if box != nil {
+		s.AttachFlightRecorder(box)
+	}
+	rep := s.Run(duration)
+	return "Fig. 10 — on-vehicle latency characterization (instrumented)\n" + rep.Render(), rep
 }
 
 // Fig11aDepthSync sweeps stereo depth error against inter-camera sync

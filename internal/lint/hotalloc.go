@@ -60,6 +60,17 @@ var hotKernels = map[string][]string{
 		// (DESIGN.md §8).
 		"sadAtQ", "matchPixelQ", "QuantizeImageInto", "QImage.DequantizeInto",
 	},
+	"sov/internal/obs": {
+		// Telemetry steady-state record paths (DESIGN.md §9): touched every
+		// control cycle when the obs layer is attached, so they obey the
+		// same zero-allocation contract as the perception kernels.
+		"Counter.Inc", "Counter.Add", "Gauge.Set", "Histogram.Observe",
+		"SpanWriter.Span", "FlightRecorder.Record",
+	},
+	"sov/internal/core": {
+		// Per-cycle telemetry emitters feeding the obs layer (DESIGN.md §9).
+		"SoV.recordSpans", "SoV.recordBox", "SoV.observeCycleMetrics",
+	},
 }
 
 // funcKey names a declaration the way hotKernels does.

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sov/internal/stats"
+)
+
+// traceEvent is the subset of the Chrome trace_event schema the analyzer
+// reads back.
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Name string  `json:"name"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Args struct {
+		Cycle  int    `json:"cycle"`
+		Parent string `json:"parent"`
+		Name   string `json:"name"`
+	} `json:"args"`
+}
+
+// StageSummary is one span name's duration distribution in milliseconds.
+type StageSummary struct {
+	Name  string
+	DurMs stats.Summary
+}
+
+// PathShare attributes perception's critical path: how many cycles each
+// leaf chain (depth, detect+track, vio) set the perception span's length,
+// and the mean length of the chain when it dominated.
+type PathShare struct {
+	Chain  string
+	Cycles int
+	MeanMs float64
+}
+
+// SpanSummary is the offline analysis of a span file: the per-stage
+// latency breakdown and the per-cycle critical-path attribution.
+type SpanSummary struct {
+	Events     int
+	HostEvents int
+	Cycles     int
+	Stages     []StageSummary
+	Critical   []PathShare
+}
+
+// perception's leaf chains: the scene-understanding group runs detect then
+// track serially, racing depth, and the whole group races localization
+// (vio); the longest chain is the stage's critical path (latencyModel.draw).
+var perceptionChains = []struct {
+	name   string
+	leaves []string
+}{
+	{"detect+track", []string{"detect", "track"}},
+	{"depth", []string{"depth"}},
+	{"vio", []string{"vio"}},
+}
+
+// SummarizeSpans parses a Chrome trace_event JSON span file (written by
+// SpanWriter) and computes the per-stage duration distributions plus the
+// perception critical-path attribution per cycle. Host-track events are
+// counted but excluded from the statistics.
+func SummarizeSpans(r io.Reader) (SpanSummary, error) {
+	var events []traceEvent
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&events); err != nil {
+		return SpanSummary{}, fmt.Errorf("obs: parsing span file: %w", err)
+	}
+	var out SpanSummary
+	byName := make(map[string]*stats.Sample)
+	// leafByCycle[cycle][leaf] = duration ms for the perception leaves.
+	leafByCycle := make(map[int]map[string]float64)
+	cycles := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Pid != PIDVirtual {
+			out.HostEvents++
+			continue
+		}
+		out.Events++
+		durMs := ev.Dur / 1e3
+		s := byName[ev.Name]
+		if s == nil {
+			s = stats.NewSample()
+			byName[ev.Name] = s
+		}
+		s.Observe(durMs)
+		cycles[ev.Args.Cycle] = true
+		if ev.Args.Parent == "perception" {
+			m := leafByCycle[ev.Args.Cycle]
+			if m == nil {
+				m = make(map[string]float64)
+				leafByCycle[ev.Args.Cycle] = m
+			}
+			m[ev.Name] = durMs
+		}
+	}
+	out.Cycles = len(cycles)
+
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.Stages = append(out.Stages, StageSummary{Name: name, DurMs: byName[name].Summarize()})
+	}
+
+	wins := make([]int, len(perceptionChains))
+	sums := make([]float64, len(perceptionChains))
+	cycleIDs := make([]int, 0, len(leafByCycle))
+	for c := range leafByCycle {
+		cycleIDs = append(cycleIDs, c)
+	}
+	sort.Ints(cycleIDs)
+	for _, c := range cycleIDs {
+		leaves := leafByCycle[c]
+		best, bestLen := -1, -1.0
+		for i, ch := range perceptionChains {
+			total := 0.0
+			for _, leaf := range ch.leaves {
+				total += leaves[leaf]
+			}
+			if total > bestLen {
+				best, bestLen = i, total
+			}
+		}
+		if best >= 0 {
+			wins[best]++
+			sums[best] += bestLen
+		}
+	}
+	for i, ch := range perceptionChains {
+		share := PathShare{Chain: ch.name, Cycles: wins[i]}
+		if wins[i] > 0 {
+			share.MeanMs = sums[i] / float64(wins[i])
+		}
+		out.Critical = append(out.Critical, share)
+	}
+	sort.SliceStable(out.Critical, func(i, j int) bool { return out.Critical[i].Cycles > out.Critical[j].Cycles })
+	return out, nil
+}
+
+// Render formats the summary for the terminal.
+func (s SpanSummary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans: %d virtual-time events over %d cycles", s.Events, s.Cycles)
+	if s.HostEvents > 0 {
+		fmt.Fprintf(&b, " (+%d host wall-clock events)", s.HostEvents)
+	}
+	b.WriteString("\nper-stage latency (virtual time, ms):\n")
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, "  %-12s %s\n", st.Name, st.DurMs)
+	}
+	total := 0
+	for _, c := range s.Critical {
+		total += c.Cycles
+	}
+	if total > 0 {
+		b.WriteString("perception critical path (which chain set the stage's length):\n")
+		for _, c := range s.Critical {
+			fmt.Fprintf(&b, "  %-12s %5.1f%% of cycles (mean %.1f ms when dominant)\n",
+				c.Chain, 100*float64(c.Cycles)/float64(total), c.MeanMs)
+		}
+	}
+	return b.String()
+}

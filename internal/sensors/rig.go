@@ -35,7 +35,24 @@ type RadarRig struct {
 
 	unitScratch   []RadarReturn // per-unit echoes, reused across scans
 	sectorScratch []RigReturn   // NearestInSector's merged-scan buffer
+
+	stats RigStats
 }
+
+// RigStats counts a radar rig's activity for the telemetry layer. Scans
+// and echoes advance in virtual-time order (the rig is engine-thread-only),
+// so the counters are deterministic for a fixed scenario.
+type RigStats struct {
+	// Scans counts per-unit radar scans (each ScanAll sweeps every unit).
+	Scans int64
+	// Echoes counts merged vehicle-frame returns produced.
+	Echoes int64
+	// SectorQueries counts NearestInSector evaluations (the reactive path).
+	SectorQueries int64
+}
+
+// Stats returns the rig's activity counters.
+func (r *RadarRig) Stats() RigStats { return r.stats }
 
 // NewRadarRig builds the rig over a world; each unit gets its own RNG
 // stream.
@@ -74,6 +91,8 @@ func (r *RadarRig) ScanAll(t time.Duration, pose world.Pose) []RigReturn {
 // capacity) and returns it — the zero-allocation variant of ScanAll for a
 // recycled buffer. RNG draw order is identical to ScanAll.
 func (r *RadarRig) ScanAllInto(dst []RigReturn, t time.Duration, pose world.Pose) []RigReturn {
+	base := len(dst)
+	r.stats.Scans += int64(len(r.Units))
 	for i, u := range r.Units {
 		m := r.Mounts[i]
 		sp := m.sensorPose(pose)
@@ -93,6 +112,7 @@ func (r *RadarRig) ScanAllInto(dst []RigReturn, t time.Duration, pose world.Pose
 			})
 		}
 	}
+	r.stats.Echoes += int64(len(dst) - base)
 	return dst
 }
 
@@ -100,6 +120,7 @@ func (r *RadarRig) ScanAllInto(dst []RigReturn, t time.Duration, pose world.Pose
 // falls inside ±halfWidth of center, and whether one exists. The reactive
 // path uses the forward sector; a parking assist would use the rear.
 func (r *RadarRig) NearestInSector(t time.Duration, pose world.Pose, center, halfWidth float64) (RigReturn, bool) {
+	r.stats.SectorQueries++
 	best := RigReturn{}
 	found := false
 	bestD := math.Inf(1)
@@ -123,7 +144,20 @@ func (r *RadarRig) NearestInSector(t time.Duration, pose world.Pose, center, hal
 type SonarRig struct {
 	Units  []*Sonar
 	Mounts []Mount
+
+	stats SonarRigStats
 }
+
+// SonarRigStats counts a sonar ring's activity for the telemetry layer.
+type SonarRigStats struct {
+	// Pings counts per-unit pings issued by sector queries.
+	Pings int64
+	// SectorQueries counts NearestInSector evaluations.
+	SectorQueries int64
+}
+
+// Stats returns the ring's activity counters.
+func (r *SonarRig) Stats() SonarRigStats { return r.stats }
 
 // NewSonarRig builds the 8-unit ring.
 func NewSonarRig(w *world.World, rng *sim.RNG) *SonarRig {
@@ -143,6 +177,7 @@ func NewSonarRig(w *world.World, rng *sim.RNG) *SonarRig {
 // NearestInSector pings all units facing within ±halfWidth of center and
 // returns the closest valid range (measured from the vehicle origin).
 func (r *SonarRig) NearestInSector(t time.Duration, pose world.Pose, center, halfWidth float64) (float64, bool) {
+	r.stats.SectorQueries++
 	best := math.Inf(1)
 	found := false
 	for i, u := range r.Units {
@@ -150,6 +185,7 @@ func (r *SonarRig) NearestInSector(t time.Duration, pose world.Pose, center, hal
 		if math.Abs(mathx.WrapAngle(m.Bearing-center)) > halfWidth {
 			continue
 		}
+		r.stats.Pings++
 		ping := u.PingAt(t, m.sensorPose(pose))
 		if !ping.Valid {
 			continue

@@ -6,11 +6,13 @@
 package sov
 
 import (
+	"io"
 	"runtime"
 	"testing"
 	"time"
 
 	"sov/internal/core"
+	"sov/internal/obs"
 )
 
 // benchCruise runs one fixed-horizon characterization cruise. Each op spans
@@ -41,11 +43,19 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 // measureSteadyStateAllocs returns the per-cycle allocation rate of the
 // control loop once warm, by differencing two fresh runs of different
 // lengths so setup-time allocations (world, detector, pools) cancel out.
-func measureSteadyStateAllocs(pipelined bool) float64 {
+// With instrumented set, the full telemetry layer — metrics registry, span
+// writer, flight recorder — is attached, so the gate also covers the obs
+// record paths.
+func measureSteadyStateAllocs(pipelined, instrumented bool) float64 {
 	run := func(d time.Duration) (uint64, int) {
 		cfg := core.DefaultConfig()
 		cfg.Pipeline = pipelined
 		s := core.New(cfg, core.CruiseScenario(3))
+		if instrumented {
+			s.AttachMetrics(obs.NewRegistry())
+			s.AttachSpans(obs.NewSpanWriter(io.Discard))
+			s.AttachFlightRecorder(obs.NewFlightRecorder(io.Discard, 64, 3))
+		}
 		runtime.GC()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
@@ -63,13 +73,22 @@ func measureSteadyStateAllocs(pipelined bool) float64 {
 // perceive, plan, delivery scheduling — must stay near zero allocations in
 // both modes. The seed ran ~25 allocs/cycle; the frame/slot/event recycling
 // brought it under 1. The bound of 2 leaves headroom for amortized sample
-// growth without letting a per-cycle regression slip through.
+// growth without letting a per-cycle regression slip through. The
+// instrumented variants hold the telemetry layer to the same bound: its
+// steady-state record paths (counters, histogram bins, buffered spans, the
+// flight-recorder ring) must add ~0 allocs/cycle.
 func TestControlLoopSteadyStateAllocs(t *testing.T) {
 	for _, mode := range []struct {
-		name      string
-		pipelined bool
-	}{{"serial", false}, {"pipelined", true}} {
-		if got := measureSteadyStateAllocs(mode.pipelined); got > 2 {
+		name         string
+		pipelined    bool
+		instrumented bool
+	}{
+		{"serial", false, false},
+		{"pipelined", true, false},
+		{"serial+obs", false, true},
+		{"pipelined+obs", true, true},
+	} {
+		if got := measureSteadyStateAllocs(mode.pipelined, mode.instrumented); got > 2 {
 			t.Errorf("%s control loop allocates %.2f allocs/cycle in steady state, want < 2",
 				mode.name, got)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"sov/internal/nn"
 	"sov/internal/obs"
 	"sov/internal/parallel"
 )
@@ -76,6 +77,8 @@ type coreMetrics struct {
 
 	// par0 scopes the process-wide parallel substrate counters to this run.
 	par0 parallel.Counters
+	// nn0 scopes the process-wide quantized kernel dispatch counters likewise.
+	nn0 nn.KernelCounters
 }
 
 // AttachMetrics registers the control loop's steady-state instruments on reg
@@ -267,6 +270,14 @@ func (s *SoV) publishRunMetrics() {
 	m.counterSet("sov_parallel_tiles_total", "tiles executed across all fan-outs", obs.ClassHost, par.Tiles-m.par0.Tiles+m.prev["sov_parallel_tiles_total"])
 	m.counterSet("sov_parallel_pool_tiles_total", "tiles claimed via the shared pool queue", obs.ClassHost, par.PoolTiles-m.par0.PoolTiles+m.prev["sov_parallel_pool_tiles_total"])
 	m.par0 = par
+
+	// Quantized kernel dispatch (host: backend choice is a per-shape
+	// performance decision, not part of the virtual-time contract).
+	kc := nn.KernelCounterSnapshot()
+	m.counterSet("sov_qconv_gemm_dispatches_total", "QConv2D calls routed to the im2col GEMM backend", obs.ClassHost, kc.GEMMDispatches-m.nn0.GEMMDispatches+m.prev["sov_qconv_gemm_dispatches_total"])
+	m.counterSet("sov_qconv_direct_dispatches_total", "QConv2D calls routed to the direct SWAR kernel", obs.ClassHost, kc.DirectDispatches-m.nn0.DirectDispatches+m.prev["sov_qconv_direct_dispatches_total"])
+	m.counterSet("sov_qnn_batch_images_total", "images processed through batched network forwards", obs.ClassHost, kc.BatchImages-m.nn0.BatchImages+m.prev["sov_qnn_batch_images_total"])
+	m.nn0 = kc
 
 	// Pipelined runtime (host wall-clock) when the run used it.
 	if p := r.Pipeline; p != nil {

@@ -88,8 +88,53 @@ func DecodeQuantGridInto(dst []BBox, raw *nn.QTensor, classes int, lut *nn.Sigmo
 // pass, code-domain grid decode, NMS — returning final boxes. The quantized
 // counterpart of RunCNN.
 func RunQuantCNN(model *nn.QYOLOHead, input *nn.Tensor, objThreshold, iouThreshold float32) []BBox {
+	return RunQuantCNNInto(nil, model, input, objThreshold, iouThreshold, &QuantDetectScratch{})
+}
+
+// QuantDetectScratch carries the detection path's reusable buffers across
+// frames: the batch tensor slots, the decoded candidate list, and the NMS
+// sort scratch. The zero value is ready to use; a control loop that keeps
+// one per detector allocates nothing once warm.
+type QuantDetectScratch struct {
+	raws   []*nn.QTensor
+	boxes  []BBox
+	sorted []BBox
+}
+
+// RunQuantCNNInto is the allocation-free RunQuantCNN: candidates, NMS
+// scratch, and the returned slice's backing store all live in caller-owned
+// buffers. dst is overwritten and returned re-sliced (pass the previous
+// frame's result to reuse its capacity). Output is byte-identical to
+// RunQuantCNN.
+//
+//sov:hotpath
+func RunQuantCNNInto(dst []BBox, model *nn.QYOLOHead, input *nn.Tensor, objThreshold, iouThreshold float32, s *QuantDetectScratch) []BBox {
 	raw := model.ForwardRaw(input)
-	boxes := DecodeQuantGridInto(make([]BBox, 0, 16), raw, model.Classes, model.LUT(), objThreshold)
+	s.boxes = DecodeQuantGridInto(s.boxes[:0], raw, model.Classes, model.LUT(), objThreshold)
 	nn.PutQTensor(raw)
-	return NMS(boxes, iouThreshold)
+	return NMSInto(dst[:0], s.boxes, iouThreshold, &s.sorted)
+}
+
+// RunQuantCNNBatch runs the detection path over a multi-camera batch with
+// one layer-major forward pass (nn.ForwardRawBatch): each layer's weight
+// panels are traversed while all images are in flight, so the packed panels
+// stay cache-resident across the batch. out[i] receives camera i's final
+// boxes (out grows to len(inputs); per-camera slices reuse their capacity).
+// Each camera's boxes are byte-identical to RunQuantCNN on its input alone.
+//
+//sov:hotpath
+func RunQuantCNNBatch(out [][]BBox, model *nn.QYOLOHead, inputs []*nn.Tensor, objThreshold, iouThreshold float32, s *QuantDetectScratch) [][]BBox {
+	s.raws = model.ForwardRawBatch(s.raws, inputs)
+	for len(out) < len(inputs) {
+		//sovlint:ignore hotalloc growth settles once out holds a batch; warm cycles reuse the per-camera slices
+		out = append(out, nil)
+	}
+	out = out[:len(inputs)]
+	for i, raw := range s.raws {
+		s.boxes = DecodeQuantGridInto(s.boxes[:0], raw, model.Classes, model.LUT(), objThreshold)
+		nn.PutQTensor(raw)
+		s.raws[i] = nil
+		out[i] = NMSInto(out[i][:0], s.boxes, iouThreshold, &s.sorted)
+	}
+	return out
 }

@@ -114,3 +114,66 @@ func TestRunQuantCNNEndToEnd(t *testing.T) {
 		t.Fatal("stricter threshold produced more boxes")
 	}
 }
+
+// TestRunQuantCNNIntoMatches: the allocation-free runner must be
+// byte-identical to RunQuantCNN, including across reuses of the same
+// scratch and destination.
+func TestRunQuantCNNIntoMatches(t *testing.T) {
+	_, qy, in := quantTestModel()
+	want := RunQuantCNN(qy, in, 0.3, 0.5)
+	var s QuantDetectScratch
+	var dst []BBox
+	for pass := 0; pass < 3; pass++ {
+		dst = RunQuantCNNInto(dst, qy, in, 0.3, 0.5, &s)
+		if len(dst) != len(want) {
+			t.Fatalf("pass %d: box count %d != %d", pass, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("pass %d box %d: %+v != %+v", pass, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunQuantCNNBatchMatchesSingle: the layer-major batched runner must
+// produce, per camera, exactly the boxes the single-image runner produces —
+// for any worker count.
+func TestRunQuantCNNBatchMatchesSingle(t *testing.T) {
+	_, qy, in := quantTestModel()
+	inputs := make([]*nn.Tensor, 4)
+	for cam := range inputs {
+		ti := nn.NewTensor(1, 56, 72)
+		for i := range ti.Data {
+			ti.Data[i] = float32((i*(cam+3))%13) / 13
+		}
+		inputs[cam] = ti
+	}
+	inputs[1] = in
+	want := make([][]BBox, len(inputs))
+	for cam, ti := range inputs {
+		want[cam] = RunQuantCNN(qy, ti, 0.3, 0.5)
+	}
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	for _, workers := range []int{1, 8} {
+		parallel.SetWorkers(workers)
+		var s QuantDetectScratch
+		var out [][]BBox
+		for pass := 0; pass < 2; pass++ { // second pass reuses all scratch
+			out = RunQuantCNNBatch(out, qy, inputs, 0.3, 0.5, &s)
+			if len(out) != len(inputs) {
+				t.Fatalf("workers %d: batch size %d != %d", workers, len(out), len(inputs))
+			}
+			for cam := range inputs {
+				if len(out[cam]) != len(want[cam]) {
+					t.Fatalf("workers %d cam %d: box count %d != %d", workers, cam, len(out[cam]), len(want[cam]))
+				}
+				for i := range want[cam] {
+					if out[cam][i] != want[cam][i] {
+						t.Fatalf("workers %d cam %d box %d differs", workers, cam, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -44,21 +44,30 @@ var hotKernels = map[string][]string{
 		"QConv2D.ForwardInto", "QConv2D.forwardChannel", "QConv2D.accEdge",
 		"QMaxPool2.ForwardInto", "qpoolChannel",
 		"QGlobalAvgPool.ForwardInto", "qgapChannel",
-		"QFC.ForwardInto", "QFC.forwardRowQuad", "QFC.forwardRowPair", "QFC.forwardRow", "QFC.forwardTail",
+		"QFC.ForwardInto", "QFC.swarRowQuad", "QFC.swarRow", "QFC.swarTail",
 		"QuantizeTensorInto", "DequantizeTensorInto",
 		"requant.apply", "SigmoidLUT.At", "QYOLOHead.decodeCellQ",
+		// SWAR + im2col GEMM backend and batched inference (DESIGN.md §10).
+		"QConv2D.swarChunk", "QConv2D.packInput",
+		"QConv2D.forwardGEMM", "QConv2D.gemmBlock", "QConv2D.packACol",
+		"QNetwork.ForwardBatchPooled", "QYOLOHead.ForwardRawBatch",
 	},
 	"sov/internal/pointcloud": {"icpMatchOne"},
 	"sov/internal/detect": {
 		"Detector.DetectInto",
 		// Fixed-point grid decode (DESIGN.md §8).
 		"DecodeQuantGridInto", "decodeQuantBox",
+		// Scratch-reusing quantized pipeline entry points (DESIGN.md §10).
+		"RunQuantCNNInto", "RunQuantCNNBatch",
 	},
 	"sov/internal/fusion": {"SyncScratch.SpatialSyncInto", "FuseAllInto"},
 	"sov/internal/vision": {
 		// Fixed-point stereo cost aggregation and 8-bit frame conversion
 		// (DESIGN.md §8).
 		"sadAtQ", "matchPixelQ", "QuantizeImageInto", "QImage.DequantizeInto",
+		// SWAR SAD sweep and scratch-reusing stereo matchers (DESIGN.md §10).
+		"sad8", "sadSweepSWAR", "BlockMatchQuantInto",
+		"SupportPointsQuantInto", "SupportPointStereoQuantInto",
 	},
 	"sov/internal/obs": {
 		// Telemetry steady-state record paths (DESIGN.md §9): touched every

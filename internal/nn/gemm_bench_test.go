@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPerceptionConv is the BENCH_quant conv shape: 16ch 48×64 → 32ch,
+// 3×3 stride 1 pad 1 (kd = 144, P = 3072).
+func benchPerceptionConv(b *testing.B) (*QConv2D, *QTensor, *QTensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	conv := NewConv2D(16, 32, 3, 1, 1, true, rng)
+	qc := NewQConv2D(conv, ChooseQuantParams(-0.4, 0.6), ChooseQuantParams(-0.2, 0.9))
+	in := NewQTensor(16, 48, 64, qc.InP)
+	for i := range in.Data {
+		in.Data[i] = int8(rng.Intn(256) - 128)
+	}
+	oc, oh, ow := qc.OutShape(in.C, in.H, in.W)
+	out := NewQTensor(oc, oh, ow, qc.OutP)
+	return qc, in, out
+}
+
+// BenchmarkQConvBackends pins each backend on the perception conv shape so
+// the dispatcher crossover stays grounded in measured numbers.
+func BenchmarkQConvBackends(b *testing.B) {
+	b.Run("gemm", func(b *testing.B) {
+		qc, in, out := benchPerceptionConv(b)
+		_, oh, ow := qc.OutShape(in.C, in.H, in.W)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qc.forwardGEMM(in, out, oh, ow)
+		}
+	})
+	b.Run("direct-swar", func(b *testing.B) {
+		qc, in, out := benchPerceptionConv(b)
+		qc.gemm.b = nil
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qc.ForwardInto(in, out)
+		}
+	})
+}

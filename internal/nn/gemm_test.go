@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"sov/internal/parallel"
+)
+
+// refQConv is the trusted scalar reference: per output pixel, the exact
+// per-tap accumulation with zero-point subtraction (accEdge semantics
+// everywhere), requantized. Every production backend must match it bit for
+// bit.
+func refQConv(c *QConv2D, in *QTensor) []int8 {
+	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
+	out := make([]int8, oc*oh*ow)
+	per := c.InC * c.K * c.K
+	for o := 0; o < oc; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := c.Bias[o]
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						for kx := 0; kx < c.K; kx++ {
+							iy := oy*c.Stride - c.Pad + ky
+							ix := ox*c.Stride - c.Pad + kx
+							if iy < 0 || iy >= in.H || ix < 0 || ix >= in.W {
+								continue
+							}
+							w := int32(c.Weights[o*per+(ic*c.K+ky)*c.K+kx])
+							acc += w * (int32(in.Data[(ic*in.H+iy)*in.W+ix]) - c.zeroIn)
+						}
+					}
+				}
+				out[(o*oh+oy)*ow+ox] = c.rq.apply(acc)
+			}
+		}
+	}
+	return out
+}
+
+// parityShapes sweeps odd widths, stride 2, border-heavy planes, and the
+// dispatcher crossover sizes (gemmMinDot = 48, gemmMinPixels = 128).
+var parityShapes = []struct {
+	inC, outC, k, stride, pad, h, w int
+	relu                            bool
+}{
+	{3, 4, 3, 1, 1, 8, 8, true},    // kd=27 < gemmMinDot: direct only
+	{6, 5, 3, 1, 1, 12, 16, true},  // kd=54, P=192: both backends
+	{6, 5, 3, 2, 1, 13, 9, false},  // stride 2, odd plane
+	{6, 3, 3, 1, 0, 9, 17, true},   // no pad, odd width, OutC < panel height
+	{16, 8, 3, 1, 1, 12, 12, true}, // kd=144: perception-layer shape
+	{48, 4, 1, 1, 0, 11, 13, true}, // 1×1 kernel at the kd crossover
+	{5, 7, 5, 2, 2, 11, 10, false}, // K=5, odd kd (pad element live)
+	{6, 5, 3, 1, 1, 4, 40, true},   // wide rows: SWAR interior + border rows
+	{6, 5, 3, 1, 1, 16, 8, true},   // P=128: exactly at gemmMinPixels
+	{6, 5, 3, 1, 1, 16, 7, false},  // P=112: just below gemmMinPixels
+	{1, 4, 3, 1, 1, 10, 30, true},  // single input channel
+	{4, 4, 4, 1, 2, 9, 21, true},   // even K, fat pad
+	{4, 6, 4, 2, 3, 9, 21, false},  // even K, stride 2, pad > K/2
+}
+
+func parityConv(t *testing.T, idx int) (*QConv2D, *QTensor) {
+	t.Helper()
+	s := parityShapes[idx]
+	rng := rand.New(rand.NewSource(int64(900 + idx)))
+	conv := NewConv2D(s.inC, s.outC, s.k, s.stride, s.pad, s.relu, rng)
+	qc := NewQConv2D(conv, ChooseQuantParams(-0.7, 0.9), ChooseQuantParams(-0.4, 1.1))
+	in := NewQTensor(s.inC, s.h, s.w, qc.InP)
+	for i := range in.Data {
+		in.Data[i] = int8(rng.Intn(256) - 128)
+	}
+	return qc, in
+}
+
+// TestGEMMDirectParity forces every backend over the shape sweep and
+// asserts bit-exact equality against the scalar reference: the direct path
+// (SWAR interior on), the direct path with the GEMM backend unavailable,
+// and the im2col GEMM path where the shape is eligible.
+func TestGEMMDirectParity(t *testing.T) {
+	for idx := range parityShapes {
+		qc, in := parityConv(t, idx)
+		oc, oh, ow := qc.OutShape(in.C, in.H, in.W)
+		want := refQConv(qc, in)
+
+		out := NewQTensor(oc, oh, ow, qc.OutP)
+		qc.ForwardInto(in, out) // dispatcher's choice
+		if !eqInt8(out.Data, want) {
+			t.Fatalf("shape %d: dispatcher output != reference", idx)
+		}
+
+		// Direct path, GEMM backend masked off.
+		savedB := qc.gemm.b
+		qc.gemm.b = nil
+		for i := range out.Data {
+			out.Data[i] = 0x55
+		}
+		qc.ForwardInto(in, out)
+		qc.gemm.b = savedB
+		if !eqInt8(out.Data, want) {
+			t.Fatalf("shape %d: direct output != reference", idx)
+		}
+
+		// GEMM path, forced regardless of the pixel floor.
+		if qc.gemm.b != nil {
+			for i := range out.Data {
+				out.Data[i] = 0x55
+			}
+			qc.forwardGEMM(in, out, oh, ow)
+			if !eqInt8(out.Data, want) {
+				t.Fatalf("shape %d: GEMM output != reference", idx)
+			}
+		}
+	}
+}
+
+// TestGEMMParityAcrossWorkers checks both backends stay byte-identical when
+// the column blocks and output channels fan out across a worker pool.
+func TestGEMMParityAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(parallel.Workers())
+	for _, idx := range []int{4, 7} { // perception shape + border-heavy shape
+		qc, in := parityConv(t, idx)
+		oc, oh, ow := qc.OutShape(in.C, in.H, in.W)
+		want := refQConv(qc, in)
+		for _, workers := range []int{1, 3, 8} {
+			parallel.SetWorkers(workers)
+			out := NewQTensor(oc, oh, ow, qc.OutP)
+			qc.ForwardInto(in, out)
+			if !eqInt8(out.Data, want) {
+				t.Fatalf("shape %d workers %d: output != reference", idx, workers)
+			}
+			if qc.gemm.b != nil {
+				for i := range out.Data {
+					out.Data[i] = 0x55
+				}
+				qc.forwardGEMM(in, out, oh, ow)
+				if !eqInt8(out.Data, want) {
+					t.Fatalf("shape %d workers %d: GEMM output != reference", idx, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestQFCSWARParity checks the pair-dot QFC against a scalar widened dot
+// product over odd and even widths, including the ≤3-row tail.
+func TestQFCSWARParity(t *testing.T) {
+	for _, shape := range []struct{ in, out int }{
+		{256, 128}, {255, 127}, {7, 9}, {1, 1}, {17, 6}, {64, 3},
+	} {
+		rng := rand.New(rand.NewSource(int64(1700 + shape.in)))
+		fc := NewFC(shape.in, shape.out, true, rng)
+		qf := NewQFC(fc, ChooseQuantParams(-0.6, 0.8), ChooseQuantParams(-0.2, 1.3))
+		in := NewQTensor(shape.in, 1, 1, qf.InP)
+		for i := range in.Data {
+			in.Data[i] = int8(rng.Intn(256) - 128)
+		}
+		want := make([]int8, shape.out)
+		for o := 0; o < shape.out; o++ {
+			acc := qf.foldedBias[o]
+			for i, v := range in.Data {
+				acc += int32(qf.Weights[o*shape.in+i]) * int32(v)
+			}
+			want[o] = qf.rq.apply(acc)
+		}
+		out := NewQTensor(shape.out, 1, 1, qf.OutP)
+		qf.ForwardInto(in, out)
+		if !eqInt8(out.Data, want) {
+			t.Fatalf("qfc %dx%d: SWAR output != scalar reference", shape.in, shape.out)
+		}
+	}
+}
+
+func eqInt8(a, b []int8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -45,6 +45,15 @@ type QConv2D struct {
 	// scratch is the serial path's int32 accumulator row (grown on first
 	// use, reused forever); parallel workers borrow theirs from the pools.
 	scratch []int32
+	// swarFold is foldedBias − 128·Σw per output channel: the constant that
+	// rebases the SWAR interior's biased-domain accumulation (swar.go).
+	swarFold []int32
+	// ubuf is the input tensor as biased bytes u = x+128, packed once per
+	// forward pass before any fan-out (read-only to the workers).
+	ubuf []byte
+	// gemm is the im2col GEMM backend (gemm.go), built at construction for
+	// eligible shapes.
+	gemm gemmState
 }
 
 // NewQConv2D quantizes a float convolution for the given input/output
@@ -59,6 +68,7 @@ func NewQConv2D(c *Conv2D, in, out QuantParams) *QConv2D {
 	accScale := in.Scale * ws
 	q.Bias = quantizeBias(c.Bias, accScale)
 	q.foldedBias = make([]int32, c.OutC)
+	q.swarFold = make([]int32, c.OutC)
 	per := c.InC * c.K * c.K
 	for o := 0; o < c.OutC; o++ {
 		var wsum int32
@@ -66,9 +76,24 @@ func NewQConv2D(c *Conv2D, in, out QuantParams) *QConv2D {
 			wsum += int32(v)
 		}
 		q.foldedBias[o] = q.Bias[o] - in.Zero*wsum
+		q.swarFold[o] = q.foldedBias[o] - 128*wsum
 	}
 	q.rq = newRequant(float64(accScale)/float64(out.Scale), out.Zero, c.ReLU)
+	q.initGEMM()
 	return q
+}
+
+// packInput rewrites the input tensor as biased bytes into c.ubuf (the SWAR
+// interior and the GEMM A-panel packer both read it through 8-byte loads).
+//
+//sov:hotpath
+func (c *QConv2D) packInput(in *QTensor) {
+	n := len(in.Data)
+	if cap(c.ubuf) < n {
+		//sovlint:ignore hotalloc first-call scratch growth; warm passes reuse the biased byte buffer
+		c.ubuf = make([]byte, n)
+	}
+	packBiasedBytesInto(c.ubuf[:n], in.Data)
 }
 
 // Name implements QLayer.
@@ -93,9 +118,11 @@ func (c *QConv2D) Forward(in *QTensor) *QTensor {
 	return out
 }
 
-// ForwardInto implements QLayer. Output channels are independent and fan
-// out across the worker pool; integer accumulation is exact, so the output
-// is byte-identical for any worker count.
+// ForwardInto implements QLayer. The dispatcher (gemm.go) sends deep, wide
+// layers to the im2col GEMM backend; everything else runs the direct
+// tap-major kernel, whose stride-1 interior accumulates in SWAR 16-bit
+// lanes. Both paths are exact integer arithmetic over independent work
+// units, so the output is byte-identical across backends and worker counts.
 //
 //sov:hotpath
 func (c *QConv2D) ForwardInto(in, out *QTensor) {
@@ -106,14 +133,24 @@ func (c *QConv2D) ForwardInto(in, out *QTensor) {
 	if out.C != oc || out.H != oh || out.W != ow {
 		panic(fmt.Sprintf("nn: qconv output shape %dx%dx%d != %dx%dx%d", out.C, out.H, out.W, oc, oh, ow))
 	}
+	if c.gemmOK(oh, ow) {
+		kernelDispatch.gemm.Add(1)
+		c.forwardGEMM(in, out, oh, ow)
+		return
+	}
+	kernelDispatch.direct.Add(1)
+	oxLo, oxHi := c.interior(in.W, ow)
+	swar := c.Stride == 1 && oxHi-oxLo >= 8
+	if swar {
+		c.packInput(in)
+	}
 	if parallel.Workers() <= 1 {
-		oxLo, oxHi := c.interior(in.W, ow)
 		if n := oxHi - oxLo; cap(c.scratch) < n {
 			//sovlint:ignore hotalloc first-call scratch growth; warm passes reuse the accumulator row
 			c.scratch = make([]int32, n)
 		}
 		for o := 0; o < oc; o++ {
-			c.forwardChannel(in, out, o, oh, ow, c.scratch)
+			c.forwardChannel(in, out, o, oh, ow, swar, c.scratch)
 		}
 		return
 	}
@@ -122,7 +159,7 @@ func (c *QConv2D) ForwardInto(in, out *QTensor) {
 		oxLo, oxHi := c.interior(in.W, ow)
 		acc := parallel.GetI32(oxHi - oxLo)
 		for o := o0; o < o1; o++ {
-			c.forwardChannel(in, out, o, oh, ow, acc)
+			c.forwardChannel(in, out, o, oh, ow, swar, acc)
 		}
 		parallel.PutI32(acc)
 	})
@@ -146,21 +183,28 @@ func (c *QConv2D) interior(inW, ow int) (oxLo, oxHi int) {
 }
 
 // forwardChannel computes one output channel of the fused convolution.
-// Interior output rows accumulate tap-major: each weight is hoisted into a
-// register once and swept across an int32 accumulator row (borrowed from
-// the parallel pools), so the hot loop is a branch-free widening
-// multiply-add with no per-pixel slicing. Integer addition is exact and
-// associative, so the reordering cannot perturb results.
+// Interior output rows run eight pixels at a time through the SWAR chunk
+// kernel when the stride is 1 (swar is set by the caller after packing the
+// biased byte buffer); the ≤7 leftover columns — and every row when SWAR is
+// off — accumulate tap-major: each weight is hoisted into a register once
+// and swept across an int32 accumulator row (borrowed from the parallel
+// pools), so the hot loop is a branch-free widening multiply-add with no
+// per-pixel slicing. Integer addition is exact and associative, so neither
+// reordering can perturb results.
 //
 //sov:hotpath
-func (c *QConv2D) forwardChannel(in, out *QTensor, o, oh, ow int, scratch []int32) {
+func (c *QConv2D) forwardChannel(in, out *QTensor, o, oh, ow int, swar bool, scratch []int32) {
 	per := c.InC * c.K * c.K
 	wBase := o * per
 	fold := c.foldedBias[o]
 	rq := c.rq
 	oxLo, oxHi := c.interior(in.W, ow)
 	n := oxHi - oxLo
-	acc := scratch[:n]
+	nC := 0
+	if swar {
+		nC = n &^ 7
+	}
+	acc := scratch[:n-nC]
 	k3s1 := c.K == 3 && c.Stride == 1
 	for oy := 0; oy < oh; oy++ {
 		iy0 := oy*c.Stride - c.Pad
@@ -175,11 +219,14 @@ func (c *QConv2D) forwardChannel(in, out *QTensor, o, oh, ow int, scratch []int3
 		for ox := 0; ox < oxLo; ox++ {
 			outRow[ox] = rq.apply(c.accEdge(in, wBase, iy0, ox*c.Stride-c.Pad))
 		}
-		if n > 0 {
+		for j0 := 0; j0 < nC; j0 += 8 {
+			c.swarChunk(in.H, in.W, iy0, oxLo+j0-c.Pad, o, outRow[oxLo+j0:oxLo+j0+8])
+		}
+		if len(acc) > 0 {
 			for j := range acc {
 				acc[j] = fold
 			}
-			ix0 := oxLo*c.Stride - c.Pad
+			ix0 := (oxLo+nC)*c.Stride - c.Pad
 			for ic := 0; ic < c.InC; ic++ {
 				wc := wBase + ic*c.K*c.K
 				chanBase := (ic*in.H+iy0)*in.W + ix0
@@ -189,7 +236,7 @@ func (c *QConv2D) forwardChannel(in, out *QTensor, o, oh, ow int, scratch []int3
 						w0 := int32(c.Weights[wc+ky*3])
 						w1 := int32(c.Weights[wc+ky*3+1])
 						w2 := int32(c.Weights[wc+ky*3+2])
-						r := in.Data[rowBase : rowBase+n+2]
+						r := in.Data[rowBase : rowBase+len(acc)+2]
 						for j, a := range acc {
 							acc[j] = a + w0*int32(r[j]) + w1*int32(r[j+1]) + w2*int32(r[j+2])
 						}
@@ -208,12 +255,75 @@ func (c *QConv2D) forwardChannel(in, out *QTensor, o, oh, ow int, scratch []int3
 				}
 			}
 			for j, a := range acc {
-				outRow[oxLo+j] = rq.apply(a)
+				outRow[oxLo+nC+j] = rq.apply(a)
 			}
 		}
 		for ox := oxHi; ox < ow; ox++ {
 			outRow[ox] = rq.apply(c.accEdge(in, wBase, iy0, ox*c.Stride-c.Pad))
 		}
+	}
+}
+
+// swarChunk accumulates eight consecutive interior output pixels in SWAR
+// 16-bit lanes. Each tap issues one 8-byte load of biased activations,
+// splits it into even/odd 16-bit lanes, and multiply-accumulates the
+// unsigned weight magnitude into positive- or negative-weight lane words;
+// a running weight budget spills the lanes to int32 before Σ|w|·255 can
+// exceed a 16-bit lane. The biased-domain total folds back through
+// swarFold = foldedBias − 128·Σw, so the result is bit-exact with the
+// tap-major accumulation.
+//
+//sov:hotpath
+func (c *QConv2D) swarChunk(inH, inW, iy0, ix0, o int, outChunk []int8) {
+	ub := c.ubuf
+	per := c.K * c.K
+	wBase := o * c.InC * per
+	var acc [8]int32
+	var pe, po, ne, no uint64
+	var budP, budN int32
+	for ic := 0; ic < c.InC; ic++ {
+		wc := wBase + ic*per
+		chanBase := (ic*inH+iy0)*inW + ix0
+		for ky := 0; ky < c.K; ky++ {
+			rowBase := chanBase + ky*inW
+			wRow := wc + ky*c.K
+			for kx := 0; kx < c.K; kx++ {
+				w := int32(c.Weights[wRow+kx])
+				if w == 0 {
+					continue
+				}
+				v := load8(ub, rowBase+kx)
+				even := v & swarEvenBytes
+				odd := (v >> 8) & swarEvenBytes
+				if w > 0 {
+					if budP += w * 255; budP > 0xFFFF {
+						spillLanes16(&acc, pe, po, 1)
+						pe, po = 0, 0
+						budP = w * 255
+					}
+					u := uint64(w)
+					pe += even * u
+					po += odd * u
+				} else {
+					w = -w
+					if budN += w * 255; budN > 0xFFFF {
+						spillLanes16(&acc, ne, no, -1)
+						ne, no = 0, 0
+						budN = w * 255
+					}
+					u := uint64(w)
+					ne += even * u
+					no += odd * u
+				}
+			}
+		}
+	}
+	spillLanes16(&acc, pe, po, 1)
+	spillLanes16(&acc, ne, no, -1)
+	fold := c.swarFold[o]
+	rq := c.rq
+	for i, a := range &acc {
+		outChunk[i] = rq.apply(fold + a)
 	}
 }
 
@@ -369,7 +479,9 @@ func qgapChannel(in *QTensor, c int, n int32) int8 {
 
 // QFC is the fused int8 fully-connected layer: dot product + bias + ReLU +
 // requantize, with the zero-point folded into the bias (every input element
-// is always valid, so the fold is exact everywhere).
+// is always valid, so the fold is exact everywhere). The dot products run as
+// SWAR pair-dots (swar.go): two MACs per 64-bit multiply against weight rows
+// packed once at construction.
 type QFC struct {
 	In, Out    int
 	Weights    []int8
@@ -378,9 +490,15 @@ type QFC struct {
 	WScale     float32
 	ReLU       bool
 	rq         requant
-	// xbuf holds the serial path's widened input row (grown on first use,
+	// wpack holds each weight row as np reversed biased pair words; rowConst
+	// folds the bias and the constant terms of the pair-dot identity, so the
+	// kernel only subtracts 128·Σu at the end.
+	np       int
+	wpack    []uint64
+	rowConst []int64
+	// xpack holds the serial path's packed input pairs (grown on first use,
 	// reused forever); parallel callers borrow theirs from the pools.
-	xbuf []int32
+	xpack []uint64
 }
 
 // NewQFC quantizes a float FC layer for the given activation quantizations.
@@ -390,12 +508,18 @@ func NewQFC(f *FC, in, out QuantParams) *QFC {
 	accScale := in.Scale * ws
 	bias := quantizeBias(f.Bias, accScale)
 	q.foldedBias = make([]int32, f.Out)
+	q.np = swarPairs(f.In)
+	q.wpack = make([]uint64, f.Out*q.np)
+	q.rowConst = make([]int64, f.Out)
 	for o := 0; o < f.Out; o++ {
+		row := w[o*f.In : (o+1)*f.In]
 		var wsum int32
-		for _, v := range w[o*f.In : (o+1)*f.In] {
+		for _, v := range row {
 			wsum += int32(v)
 		}
 		q.foldedBias[o] = bias[o] - in.Zero*wsum
+		wsumB := packWeightPairsInto(q.wpack[o*q.np:(o+1)*q.np], row)
+		q.rowConst[o] = swarRowConst(q.foldedBias[o], wsumB, q.np)
 	}
 	q.rq = newRequant(float64(accScale)/float64(out.Scale), out.Zero, f.ReLU)
 	return q
@@ -410,10 +534,11 @@ func (f *QFC) OutShape(_, _, _ int) (int, int, int) { return f.Out, 1, 1 }
 // OutParams implements QLayer.
 func (f *QFC) OutParams() QuantParams { return f.OutP }
 
-// ForwardInto implements QLayer. The int8 input row is widened to int32
-// once, then output rows are computed two at a time so every input load is
-// shared by two weight rows. Output rows are independent integer dot
-// products — exact for any worker count.
+// ForwardInto implements QLayer. The int8 input row is packed into SWAR
+// pair words once, then output rows are computed four at a time so every
+// packed load feeds four weight rows and each 64-bit multiply retires two
+// MACs. Output rows are independent integer dot products — exact for any
+// worker count.
 //
 //sov:hotpath
 func (f *QFC) ForwardInto(in, out *QTensor) {
@@ -425,132 +550,81 @@ func (f *QFC) ForwardInto(in, out *QTensor) {
 	}
 	quads := f.Out / 4
 	if parallel.Workers() <= 1 {
-		if cap(f.xbuf) < f.In {
-			//sovlint:ignore hotalloc first-call scratch growth; warm passes reuse the widened input row
-			f.xbuf = make([]int32, f.In)
+		if cap(f.xpack) < f.np {
+			//sovlint:ignore hotalloc first-call scratch growth; warm passes reuse the packed input row
+			f.xpack = make([]uint64, f.np)
 		}
-		xs := f.xbuf[:f.In]
-		for i, v := range in.Data {
-			xs[i] = int32(v)
-		}
+		xp := f.xpack[:f.np]
+		sumU := packPairsInto(xp, in.Data)
 		for q := 0; q < quads; q++ {
-			f.forwardRowQuad(xs, 4*q, out.Data)
+			f.swarRowQuad(xp, sumU, 4*q, out.Data)
 		}
-		f.forwardTail(xs, 4*quads, out.Data)
+		f.swarTail(xp, sumU, 4*quads, out.Data)
 		return
 	}
-	xs := parallel.GetI32(f.In)
-	for i, v := range in.Data {
-		xs[i] = int32(v)
-	}
+	xp := parallel.GetU64(f.np)
+	sumU := packPairsInto(xp, in.Data)
 	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
 	parallel.For(quads, 4, func(q0, q1 int) {
 		for q := q0; q < q1; q++ {
-			f.forwardRowQuad(xs, 4*q, out.Data)
+			f.swarRowQuad(xp, sumU, 4*q, out.Data)
 		}
 	})
-	f.forwardTail(xs, 4*quads, out.Data)
-	parallel.PutI32(xs)
+	f.swarTail(xp, sumU, 4*quads, out.Data)
+	parallel.PutU64(xp)
 }
 
-// forwardTail finishes the ≤3 output rows left over by the quad sweep.
+// swarTail finishes the ≤3 output rows left over by the quad sweep.
 //
 //sov:hotpath
-func (f *QFC) forwardTail(xs []int32, o int, dst []int8) {
-	if o+2 <= f.Out {
-		f.forwardRowPair(xs, o, dst)
-		o += 2
-	}
-	if o < f.Out {
-		dst[o] = f.forwardRow(xs, o)
+func (f *QFC) swarTail(xp []uint64, sumU int64, o int, dst []int8) {
+	for ; o < f.Out; o++ {
+		dst[o] = f.swarRow(xp, sumU, o)
 	}
 }
 
-// forwardRowQuad computes four fused output elements against the widened
-// input row: each x load feeds four weight rows, so the multiply ports stay
-// saturated while the load traffic per MAC drops to a quarter of the
-// row-at-a-time sweep's.
+// swarRowQuad computes four fused output elements against the packed input
+// row: each packed load feeds four weight rows and every multiply retires
+// two MACs via the pair-dot identity (swar.go), so both the load traffic and
+// the multiply count per MAC halve relative to the widened-int32 sweep.
 //
 //sov:hotpath
-func (f *QFC) forwardRowQuad(xs []int32, o int, dst []int8) {
-	r0 := f.Weights[o*f.In : (o+1)*f.In]
-	r1 := f.Weights[(o+1)*f.In : (o+2)*f.In]
-	r2 := f.Weights[(o+2)*f.In : (o+3)*f.In]
-	r3 := f.Weights[(o+3)*f.In : (o+4)*f.In]
-	xs = xs[:len(r0)]
+func (f *QFC) swarRowQuad(xp []uint64, sumU int64, o int, dst []int8) {
+	np := f.np
+	r0 := f.wpack[o*np : (o+1)*np]
+	r1 := f.wpack[(o+1)*np : (o+2)*np]
+	r2 := f.wpack[(o+2)*np : (o+3)*np]
+	r3 := f.wpack[(o+3)*np : (o+4)*np]
+	xp = xp[:len(r0)]
 	r1 = r1[:len(r0)]
 	r2 = r2[:len(r0)]
 	r3 = r3[:len(r0)]
-	var a, b, c, d int32
-	i := 0
-	for ; i+2 <= len(xs); i += 2 {
-		x0, x1 := xs[i], xs[i+1]
-		a += int32(r0[i])*x0 + int32(r0[i+1])*x1
-		b += int32(r1[i])*x0 + int32(r1[i+1])*x1
-		c += int32(r2[i])*x0 + int32(r2[i+1])*x1
-		d += int32(r3[i])*x0 + int32(r3[i+1])*x1
+	var a, b, c, d uint64
+	for i, x := range xp {
+		a += (x * r0[i]) >> 32
+		b += (x * r1[i]) >> 32
+		c += (x * r2[i]) >> 32
+		d += (x * r3[i]) >> 32
 	}
-	for ; i < len(xs); i++ {
-		x := xs[i]
-		a += int32(r0[i]) * x
-		b += int32(r1[i]) * x
-		c += int32(r2[i]) * x
-		d += int32(r3[i]) * x
-	}
-	dst[o] = f.rq.apply(f.foldedBias[o] + a)
-	dst[o+1] = f.rq.apply(f.foldedBias[o+1] + b)
-	dst[o+2] = f.rq.apply(f.foldedBias[o+2] + c)
-	dst[o+3] = f.rq.apply(f.foldedBias[o+3] + d)
+	base := -128 * sumU
+	dst[o] = f.rq.apply(int32(f.rowConst[o] + base + int64(a)))
+	dst[o+1] = f.rq.apply(int32(f.rowConst[o+1] + base + int64(b)))
+	dst[o+2] = f.rq.apply(int32(f.rowConst[o+2] + base + int64(c)))
+	dst[o+3] = f.rq.apply(int32(f.rowConst[o+3] + base + int64(d)))
 }
 
-// forwardRowPair computes two fused output elements against the widened
-// input row: each x load feeds both weight rows, and the ×4 unroll keeps
-// four independent accumulator chains in flight.
+// swarRow computes one fused output element by pair-dot (the ≤3 trailing
+// rows of the quad sweep).
 //
 //sov:hotpath
-func (f *QFC) forwardRowPair(xs []int32, o int, dst []int8) {
-	r0 := f.Weights[o*f.In : (o+1)*f.In]
-	r1 := f.Weights[(o+1)*f.In : (o+2)*f.In]
-	xs = xs[:len(r0)]
-	r1 = r1[:len(r0)]
-	var a0, a1, b0, b1 int32
-	i := 0
-	for ; i+4 <= len(xs); i += 4 {
-		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
-		a0 += int32(r0[i])*x0 + int32(r0[i+2])*x2
-		a1 += int32(r0[i+1])*x1 + int32(r0[i+3])*x3
-		b0 += int32(r1[i])*x0 + int32(r1[i+2])*x2
-		b1 += int32(r1[i+1])*x1 + int32(r1[i+3])*x3
+func (f *QFC) swarRow(xp []uint64, sumU int64, o int) int8 {
+	row := f.wpack[o*f.np : (o+1)*f.np]
+	xp = xp[:len(row)]
+	var a uint64
+	for i, x := range xp {
+		a += (x * row[i]) >> 32
 	}
-	for ; i < len(xs); i++ {
-		a0 += int32(r0[i]) * xs[i]
-		b0 += int32(r1[i]) * xs[i]
-	}
-	dst[o] = f.rq.apply(f.foldedBias[o] + a0 + a1)
-	dst[o+1] = f.rq.apply(f.foldedBias[o+1] + b0 + b1)
-}
-
-// forwardRow computes one fused output element: widened dot product with
-// four independent accumulator chains (the odd trailing row of a pair-wise
-// sweep).
-//
-//sov:hotpath
-func (f *QFC) forwardRow(xs []int32, o int) int8 {
-	row := f.Weights[o*f.In : (o+1)*f.In]
-	xs = xs[:len(row)]
-	var a0, a1, a2, a3 int32
-	i := 0
-	for ; i+4 <= len(row); i += 4 {
-		a0 += int32(row[i]) * xs[i]
-		a1 += int32(row[i+1]) * xs[i+1]
-		a2 += int32(row[i+2]) * xs[i+2]
-		a3 += int32(row[i+3]) * xs[i+3]
-	}
-	acc := f.foldedBias[o] + a0 + a1 + a2 + a3
-	for ; i < len(row); i++ {
-		acc += int32(row[i]) * xs[i]
-	}
-	return f.rq.apply(acc)
+	return f.rq.apply(int32(f.rowConst[o] - 128*sumU + int64(a)))
 }
 
 // QNetwork is an ordered stack of quantized layers with the input tensor's

@@ -1,0 +1,139 @@
+package nn
+
+// SWAR (SIMD Within A Register) substrate for the second-generation int8
+// kernels (DESIGN.md §10). A uint64 holds eight 8-bit lanes or four 16-bit
+// lanes; the kernels below this file (QFC, the QConv2D interior, the im2col
+// GEMM micro-kernel) do their multiply-accumulate in packed sub-words and
+// spill to int32/int64 before any lane can overflow. Everything is exact
+// integer arithmetic — the SWAR paths produce bit-identical accumulators to
+// the scalar paths they replace, which the package tests assert directly.
+//
+// Lane layout and the pair-dot identity
+//
+// Signed int8 codes are first rebased to the unsigned domain,
+//
+//	u = x + 128 ∈ [0, 255]   (byte: u = uint8(x) ^ 0x80)
+//	w' = w + 128 ∈ [1, 255]  (weights are symmetric, |w| ≤ 127)
+//
+// so lane products never need sign extension. A dot product rebuilds from
+// the unsigned one by the exact correction
+//
+//	Σ w·x = Σ u·w' − 128·Σu − 128·Σw' + 16384·n                      (pair-dot)
+//
+// over n padded elements; a padding element with u = 0, w' = 128 contributes
+// 0·128 − 0 − 128·128 + 16384 = 0, so odd lengths pad for free.
+//
+// The pair-dot kernel packs two consecutive activations into the 32-bit
+// halves of a word, A = u₀ | u₁<<32, and the matching weights *reversed*,
+// B = w'₁ | w'₀<<32. Then in the 64-bit product
+//
+//	A·B = u₀w'₁ + (u₀w'₀ + u₁w'₁)<<32 + u₁w'₀<<64 (mod 2⁶⁴)
+//
+// the low half u₀w'₁ ≤ 255·255 = 65025 < 2³² cannot carry into the middle,
+// the middle sum ≤ 130050 < 2³² cannot carry into the (discarded) top, so
+// (A·B)>>32 extracts u₀w'₀ + u₁w'₁ exactly: two MACs per multiply.
+
+import "encoding/binary"
+
+const (
+	// swarSignFlip XORs int8 bytes into the biased unsigned domain u = x+128.
+	swarSignFlip = 0x8080808080808080
+	// swarEvenBytes selects the even byte lanes of a word as 16-bit lanes.
+	swarEvenBytes = 0x00FF00FF00FF00FF
+	// swarOnes16 replicates a 16-bit lane across the word (horizontal sums).
+	swarOnes16 = 0x0001000100010001
+	// swarPadU and swarPadW are the padding lane values of the pair-dot
+	// identity: an (u, w') = (0, 128) element contributes exactly zero.
+	swarPadU = 0
+	swarPadW = 128
+)
+
+// swarPairs returns the packed pair count for an n-element dot product.
+func swarPairs(n int) int { return (n + 1) / 2 }
+
+// packPairsInto packs src (int8 codes) into biased activation pair words
+// dst[j] = u₂ⱼ | u₂ⱼ₊₁<<32 and returns Σu. dst must have swarPairs(len(src))
+// elements; an odd tail pads with u = 0.
+//
+//sov:hotpath
+func packPairsInto(dst []uint64, src []int8) int64 {
+	var sum int64
+	i, j := 0, 0
+	for ; i+2 <= len(src); i, j = i+2, j+1 {
+		a := uint64(uint8(src[i]) ^ 0x80)
+		b := uint64(uint8(src[i+1]) ^ 0x80)
+		dst[j] = a | b<<32
+		sum += int64(a + b)
+	}
+	if i < len(src) {
+		a := uint64(uint8(src[i]) ^ 0x80)
+		dst[j] = a | swarPadU<<32
+		sum += int64(a)
+	}
+	return sum
+}
+
+// packWeightPairsInto packs one weight row into reversed biased pair words
+// dst[j] = w'₂ⱼ₊₁ | w'₂ⱼ<<32 (the pair-dot operand order) and returns Σw'
+// over the padded row. dst must have swarPairs(len(row)) elements.
+func packWeightPairsInto(dst []uint64, row []int8) int64 {
+	var sum int64
+	i, j := 0, 0
+	for ; i+2 <= len(row); i, j = i+2, j+1 {
+		a := uint64(uint8(row[i]) ^ 0x80)
+		b := uint64(uint8(row[i+1]) ^ 0x80)
+		dst[j] = b | a<<32
+		sum += int64(a + b)
+	}
+	if i < len(row) {
+		a := uint64(uint8(row[i]) ^ 0x80)
+		dst[j] = swarPadW | a<<32
+		sum += int64(a) + swarPadW
+	}
+	return sum
+}
+
+// swarRowConst folds everything constant about one weight row of the
+// pair-dot identity: bias (with the input zero point already folded in),
+// −128·Σw', and +16384·n over the padded length. The kernel then computes
+// acc = rowConst + Σ(u·w') − 128·Σu.
+func swarRowConst(foldedBias int32, wsumBiased int64, pairs int) int64 {
+	return int64(foldedBias) - 128*wsumBiased + 16384*int64(2*pairs)
+}
+
+// packBiasedBytesInto rewrites src's int8 codes as biased bytes u = x+128.
+// The convolution kernels read these through 8-byte loads; dst aliases a
+// whole activation tensor, packed once per forward pass.
+//
+//sov:hotpath
+func packBiasedBytesInto(dst []byte, src []int8) {
+	for i, v := range src {
+		dst[i] = uint8(v) ^ 0x80
+	}
+}
+
+// load8 reads eight consecutive biased bytes as one little-endian word, so
+// byte k lands in 8-bit lane k regardless of host endianness.
+//
+//sov:hotpath
+func load8(b []byte, off int) uint64 {
+	return binary.LittleEndian.Uint64(b[off : off+8 : off+8])
+}
+
+// spillLanes16 drains four 16-bit lane accumulators from each of the
+// even/odd lane words into eight int32 accumulators (pixel order: even word
+// lane k is pixel 2k, odd word lane k is pixel 2k+1). sign selects add (+1)
+// or subtract (−1) — the convolution interior keeps separate positive- and
+// negative-weight accumulators so lanes stay unsigned.
+//
+//sov:hotpath
+func spillLanes16(acc *[8]int32, even, odd uint64, sign int32) {
+	acc[0] += sign * int32(even&0xFFFF)
+	acc[2] += sign * int32((even>>16)&0xFFFF)
+	acc[4] += sign * int32((even>>32)&0xFFFF)
+	acc[6] += sign * int32(even>>48)
+	acc[1] += sign * int32(odd&0xFFFF)
+	acc[3] += sign * int32((odd>>16)&0xFFFF)
+	acc[5] += sign * int32((odd>>32)&0xFFFF)
+	acc[7] += sign * int32(odd>>48)
+}

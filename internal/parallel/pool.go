@@ -197,6 +197,36 @@ func PutI32(s []int32) {
 	i32pool.classes[c].Put(&full)
 }
 
+type u64Pools struct{ classes [poolClasses]sync.Pool }
+
+var u64pool u64Pools
+
+// GetU64 returns a uint64 scratch slice of length n (contents unspecified) —
+// the packed SWAR lane words of the second-generation int8 kernels.
+func GetU64(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if v := u64pool.classes[c].Get(); v != nil {
+		return (*(v.(*[]uint64)))[:n]
+	}
+	return make([]uint64, n, 1<<c)
+}
+
+// PutU64 returns a slice obtained from GetU64 to its pool.
+func PutU64(s []uint64) {
+	if cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) {
+		c--
+	}
+	full := s[:cap(s)]
+	u64pool.classes[c].Put(&full)
+}
+
 type intPools struct{ classes [poolClasses]sync.Pool }
 
 var intpool intPools

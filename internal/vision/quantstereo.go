@@ -69,15 +69,40 @@ func matchPixelQ(left, right *QImage, x, y, dMin, dMax, half int, scratch []int3
 		costs = make([]int32, dMax-dMin+1)
 	}
 	costs = costs[:dMax-dMin+1]
-	for d := dMin; d <= dMax; d++ {
-		c := sadAtQ(left, right, x, y, d, half)
-		costs[d-dMin] = c
-		if c < best {
-			second = best
-			best = c
-			bestD = d
-		} else if c < second {
-			second = c
+	// The SWAR row kernel covers the sub-band whose right-image windows are
+	// interior: d ≤ x−half. Near the left image edge that is a strict prefix
+	// of [dMin, dMax]; the few remaining candidates take the clamped scalar
+	// path. Costs are exact either way, so the best/second scan below sees
+	// the same values in the same order as the all-scalar loop.
+	dSw := dMax
+	if dSw > x-half {
+		dSw = x - half
+	}
+	if dSw >= dMin && sadSWAROK(left, right, x, dMin, dSw, half) {
+		sadSweepSWAR(left, right, x, y, dMin, half, costs[:dSw-dMin+1])
+		for d := dSw + 1; d <= dMax; d++ {
+			costs[d-dMin] = sadAtQ(left, right, x, y, d, half)
+		}
+		for i, c := range costs {
+			if c < best {
+				second = best
+				best = c
+				bestD = dMin + i
+			} else if c < second {
+				second = c
+			}
+		}
+	} else {
+		for d := dMin; d <= dMax; d++ {
+			c := sadAtQ(left, right, x, y, d, half)
+			costs[d-dMin] = c
+			if c < best {
+				second = best
+				best = c
+				bestD = d
+			} else if c < second {
+				second = c
+			}
 		}
 	}
 	if bestD < 0 {
@@ -99,12 +124,64 @@ func matchPixelQ(left, right *QImage, x, y, dMin, dMax, half int, scratch []int3
 	return float32(d)
 }
 
+// StereoScratch carries the fixed-point matchers' reusable state across
+// frames: the per-pixel cost band and the support-point list. The zero
+// value is ready to use; buffers grow on first use and stick, so a control
+// loop that keeps one StereoScratch per camera pair allocates nothing once
+// warm (serial path — the parallel fan-out borrows pooled buffers instead).
+type StereoScratch struct {
+	costs []int32
+	sps   []SupportPoint
+}
+
+// costBand returns the scratch cost vector for an n-candidate search.
+func (s *StereoScratch) costBand(n int) []int32 {
+	if cap(s.costs) < n {
+		//sovlint:ignore hotalloc first-call scratch growth; warm frames reuse the band
+		s.costs = make([]int32, n)
+	}
+	return s.costs[:n]
+}
+
+// sizeMap readies m for a w×h disparity plane, reusing its backing store
+// when it is large enough.
+func sizeMap(m *DisparityMap, w, h int) {
+	m.W, m.H = w, h
+	if cap(m.D) < w*h {
+		//sovlint:ignore hotalloc first-call output growth; warm frames reuse the plane
+		m.D = make([]float32, w*h)
+	} else {
+		m.D = m.D[:w*h]
+	}
+}
+
 // BlockMatchQuant is the fixed-point BlockMatch: exhaustive int32-SAD search
 // over 8-bit frames. Output layout and validity semantics are identical to
 // the float matcher's.
 func BlockMatchQuant(left, right *QImage, maxDisp, half int) *DisparityMap {
-	m := &DisparityMap{W: left.W, H: left.H, D: make([]float32, left.W*left.H)}
-	parallel.ForRows(left.H, func(y0, y1 int) {
+	m := &DisparityMap{}
+	BlockMatchQuantInto(m, left, right, maxDisp, half, &StereoScratch{})
+	return m
+}
+
+// BlockMatchQuantInto is the allocation-free BlockMatchQuant: the disparity
+// plane and cost band live in caller-owned storage. Output is byte-identical
+// to BlockMatchQuant for any worker count.
+//
+//sov:hotpath
+func BlockMatchQuantInto(m *DisparityMap, left, right *QImage, maxDisp, half int, s *StereoScratch) {
+	sizeMap(m, left.W, left.H)
+	if parallel.Workers() <= 1 {
+		costs := s.costBand(maxDisp + 1)
+		for y := 0; y < left.H; y++ {
+			for x := 0; x < left.W; x++ {
+				m.D[y*m.W+x] = matchPixelQ(left, right, x, y, 0, maxDisp, half, costs)
+			}
+		}
+		return
+	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
+	parallel.For(left.H, sadRowBlock, func(y0, y1 int) {
 		costs := parallel.GetI32(maxDisp + 1)
 		for y := y0; y < y1; y++ {
 			for x := 0; x < left.W; x++ {
@@ -113,17 +190,40 @@ func BlockMatchQuant(left, right *QImage, maxDisp, half int) *DisparityMap {
 		}
 		parallel.PutI32(costs)
 	})
-	return m
 }
 
 // SupportPointsQuant matches a sparse grid of points with the fixed-point
 // matcher; output order matches the serial row-major scan exactly.
 func SupportPointsQuant(left, right *QImage, maxDisp, half, stride int) []SupportPoint {
+	return SupportPointsQuantInto(nil, left, right, maxDisp, half, stride, &StereoScratch{})
+}
+
+// SupportPointsQuantInto appends the support grid's matches to dst and
+// returns it. The element order is the serial row-major scan for any worker
+// count: the parallel path buckets per tile and concatenates in tile order.
+//
+//sov:hotpath
+func SupportPointsQuantInto(dst []SupportPoint, left, right *QImage, maxDisp, half, stride int, s *StereoScratch) []SupportPoint {
 	nRows := 0
 	for y := half; y < left.H-half; y += stride {
 		nRows++
 	}
+	if parallel.Workers() <= 1 {
+		costs := s.costBand(maxDisp + 1)
+		for r := 0; r < nRows; r++ {
+			y := half + r*stride
+			for x := half; x < left.W-half; x += stride {
+				if d := matchPixelQ(left, right, x, y, 0, maxDisp, half, costs); d >= 0 {
+					//sovlint:ignore hotalloc append growth settles after the first frames; warm frames reuse dst's capacity
+					dst = append(dst, SupportPoint{X: x, Y: y, D: d})
+				}
+			}
+		}
+		return dst
+	}
+	//sovlint:ignore hotalloc per-tile buckets only exist on the parallel path; the serial path above is allocation-free
 	buckets := make([][]SupportPoint, parallel.Tiles(nRows, 1))
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
 	parallel.ForTiled(nRows, 1, func(tile, r0, r1 int) {
 		costs := parallel.GetI32(maxDisp + 1)
 		var rows []SupportPoint
@@ -132,6 +232,7 @@ func SupportPointsQuant(left, right *QImage, maxDisp, half, stride int) []Suppor
 			for x := half; x < left.W-half; x += stride {
 				d := matchPixelQ(left, right, x, y, 0, maxDisp, half, costs)
 				if d >= 0 {
+					//sovlint:ignore hotalloc per-tile bucket growth on the parallel path only; the serial path appends into caller-owned dst
 					rows = append(rows, SupportPoint{X: x, Y: y, D: d})
 				}
 			}
@@ -139,26 +240,53 @@ func SupportPointsQuant(left, right *QImage, maxDisp, half, stride int) []Suppor
 		buckets[tile] = rows
 		parallel.PutI32(costs)
 	})
-	var out []SupportPoint
 	for _, b := range buckets {
-		out = append(out, b...)
+		dst = append(dst, b...)
 	}
-	return out
+	return dst
 }
 
 // SupportPointStereoQuant is the fixed-point ELAS-style matcher: sparse
 // support points build a disparity prior, then each pixel searches a narrow
 // band with the int32-SAD kernel.
 func SupportPointStereoQuant(left, right *QImage, maxDisp, half, stride, band int) *DisparityMap {
-	sps := SupportPointsQuant(left, right, maxDisp, half, stride)
-	m := &DisparityMap{W: left.W, H: left.H, D: make([]float32, left.W*left.H)}
+	m := &DisparityMap{}
+	SupportPointStereoQuantInto(m, left, right, maxDisp, half, stride, band, &StereoScratch{})
+	return m
+}
+
+// SupportPointStereoQuantInto is the allocation-free SupportPointStereoQuant:
+// support points, cost bands, and the disparity plane all live in
+// caller-owned storage. Output is byte-identical to the allocating form.
+//
+//sov:hotpath
+func SupportPointStereoQuantInto(m *DisparityMap, left, right *QImage, maxDisp, half, stride, band int, s *StereoScratch) {
+	s.sps = SupportPointsQuantInto(s.sps[:0], left, right, maxDisp, half, stride, s)
+	sps := s.sps
+	sizeMap(m, left.W, left.H)
 	if len(sps) == 0 {
 		for i := range m.D {
 			m.D[i] = -1
 		}
-		return m
+		return
 	}
-	parallel.ForRows(left.H, func(y0, y1 int) {
+	if parallel.Workers() <= 1 {
+		costs := s.costBand(maxDisp + 1)
+		for y := 0; y < left.H; y++ {
+			for x := 0; x < left.W; x++ {
+				prior := interpolatePrior(sps, x, y)
+				dMin := int(prior) - band
+				dMax := int(prior) + band
+				if dMax > maxDisp {
+					dMax = maxDisp
+				}
+				m.D[y*m.W+x] = matchPixelQ(left, right, x, y, dMin, dMax, half, costs)
+			}
+		}
+		return
+	}
+	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
+	parallel.For(left.H, sadRowBlock, func(y0, y1 int) {
 		costs := parallel.GetI32(maxDisp + 1)
 		for y := y0; y < y1; y++ {
 			for x := 0; x < left.W; x++ {
@@ -173,5 +301,4 @@ func SupportPointStereoQuant(left, right *QImage, maxDisp, half, stride, band in
 		}
 		parallel.PutI32(costs)
 	})
-	return m
 }

@@ -1,0 +1,88 @@
+package vision
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSAD8Exhaustive proves the byte-wise compare-select over every pair of
+// byte values: each (a, b) is planted in a different lane with random
+// neighbors, so lane independence is exercised alongside the formula.
+func TestSAD8Exhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			lane := (a*256 + b) % 8
+			var x, y uint64
+			var want int32
+			for i := 0; i < 8; i++ {
+				xa, yb := rng.Intn(256), rng.Intn(256)
+				if i == lane {
+					xa, yb = a, b
+				}
+				x |= uint64(xa) << (8 * i)
+				y |= uint64(yb) << (8 * i)
+				d := int32(xa) - int32(yb)
+				if d < 0 {
+					d = -d
+				}
+				want += d
+			}
+			if got := sad8(x, y); got != want {
+				t.Fatalf("a=%d b=%d lane=%d: sad8=%d want %d", a, b, lane, got, want)
+			}
+		}
+	}
+}
+
+// TestSAD8Extremes pins the saturating corners: all-zero, all-255, and the
+// maximum per-word sum 8·255.
+func TestSAD8Extremes(t *testing.T) {
+	if got := sad8(0, 0); got != 0 {
+		t.Fatalf("sad8(0,0)=%d", got)
+	}
+	all := ^uint64(0)
+	if got := sad8(all, all); got != 0 {
+		t.Fatalf("sad8(ff,ff)=%d", got)
+	}
+	if got := sad8(all, 0); got != 8*255 {
+		t.Fatalf("sad8(ff,0)=%d want %d", got, 8*255)
+	}
+	if got := sad8(0, all); got != 8*255 {
+		t.Fatalf("sad8(0,ff)=%d want %d", got, 8*255)
+	}
+}
+
+// TestSADSweepMatchesScalar drives the masked row kernel against sadAtQ over
+// window widths 1..4 (w=3..9 triggers both the SWAR path and the w>8
+// fallback), random images, and every disparity band shape the matchers
+// produce.
+func TestSADSweepMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	W, H := 40, 24
+	left := &QImage{W: W, H: H, Pix: make([]uint8, W*H)}
+	right := &QImage{W: W, H: H, Pix: make([]uint8, W*H)}
+	for i := range left.Pix {
+		left.Pix[i] = uint8(rng.Intn(256))
+		right.Pix[i] = uint8(rng.Intn(256))
+	}
+	for half := 1; half <= 3; half++ {
+		for trial := 0; trial < 200; trial++ {
+			x := rng.Intn(W)
+			y := rng.Intn(H)
+			dMin := rng.Intn(6)
+			dMax := dMin + rng.Intn(10)
+			if !sadSWAROK(left, right, x, dMin, dMax, half) {
+				continue
+			}
+			costs := make([]int32, dMax-dMin+1)
+			sadSweepSWAR(left, right, x, y, dMin, half, costs)
+			for d := dMin; d <= dMax; d++ {
+				if want := sadAtQ(left, right, x, y, d, half); costs[d-dMin] != want {
+					t.Fatalf("half=%d x=%d y=%d d=%d: SWAR %d != scalar %d",
+						half, x, y, d, costs[d-dMin], want)
+				}
+			}
+		}
+	}
+}

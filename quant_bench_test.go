@@ -148,10 +148,12 @@ func BenchmarkQuantSpeedup(b *testing.B) {
 	b.Run("stereo/int8", func(b *testing.B) {
 		leftF, rightF := benchStereoPair(128, 96)
 		left, right := vision.QuantizeImage(leftF), vision.QuantizeImage(rightF)
+		var m vision.DisparityMap
+		var s vision.StereoScratch
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			vision.BlockMatchQuant(left, right, 12, 3)
+			vision.BlockMatchQuantInto(&m, left, right, 12, 3, &s)
 		}
 	})
 	b.Run("detect-e2e/float32", func(b *testing.B) {
@@ -177,10 +179,35 @@ func BenchmarkQuantSpeedup(b *testing.B) {
 		for i := range in.Data {
 			in.Data[i] = float32(i%11) / 11
 		}
+		var s detect.QuantDetectScratch
+		var boxes []detect.BBox
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			detect.RunQuantCNN(qm, in, 0.35, 0.5)
+			boxes = detect.RunQuantCNNInto(boxes, qm, in, 0.35, 0.5, &s)
+		}
+	})
+	b.Run("detect-batch4/int8", func(b *testing.B) {
+		model := nn.NewTinyYOLO(56, 72, 3, 11)
+		calib := nn.NewTensor(1, 56, 72)
+		for i := range calib.Data {
+			calib.Data[i] = float32(i%7) / 7
+		}
+		qm := nn.QuantizeYOLO(model, calib)
+		inputs := make([]*nn.Tensor, 4)
+		for cam := range inputs {
+			ti := nn.NewTensor(1, 56, 72)
+			for i := range ti.Data {
+				ti.Data[i] = float32((i*(cam+3))%11) / 11
+			}
+			inputs[cam] = ti
+		}
+		var s detect.QuantDetectScratch
+		var out [][]detect.BBox
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = detect.RunQuantCNNBatch(out, qm, inputs, 0.35, 0.5, &s)
 		}
 	})
 }

@@ -1,0 +1,115 @@
+// Command sovfleet runs the fleet-scale simulation: N deterministic SoV
+// instances sharded across the worker pool, advancing in lockstep
+// virtual-time epochs with seeded trip demand, nearest-idle dispatch, and
+// battery/recharge state (DESIGN.md §11). Output is byte-identical for any
+// -workers count.
+//
+// Usage:
+//
+//	sovfleet [-vehicles 1000] [-regions 8] [-duration 10m] [-epoch 1s]
+//	         [-seed 1] [-workers N] [-demand 120] [-quant] [-pipeline]
+//	         [-perception 0] [-trace fleet.jsonl] [-metrics fleet.prom]
+//	         [-hist]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"sov/internal/core"
+	"sov/internal/fleet"
+	"sov/internal/obs"
+	"sov/internal/parallel"
+)
+
+//sovlint:wallclock host-throughput report only; simulation results are virtual-time
+func main() {
+	vehicles := flag.Int("vehicles", 1000, "fleet size")
+	regions := flag.Int("regions", 8, "independent service regions")
+	duration := flag.Duration("duration", 10*time.Minute, "virtual horizon")
+	epoch := flag.Duration("epoch", time.Second, "lockstep epoch length")
+	seed := flag.Int64("seed", 1, "fleet seed (splits into per-vehicle/region/demand streams)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker count (output is identical for any value)")
+	demand := flag.Float64("demand", 120, "mean rider arrivals per region-hour")
+	quant := flag.Bool("quant", false, "back per-vehicle perception with the int8 kernels")
+	pipelined := flag.Bool("pipeline", false, "run each vehicle's control loop as pipeline stages")
+	perception := flag.Int("perception", 0, "run the batched cross-vehicle quantized detector every k epochs (0 = off)")
+	tracePath := flag.String("trace", "", "write the per-epoch JSONL fleet trace here (- for stdout)")
+	metricsPath := flag.String("metrics", "", "write the fleet metrics exposition here (.json for JSON, else Prometheus text)")
+	hist := flag.Bool("hist", false, "print the rider wait-time histogram")
+	flag.Parse()
+
+	parallel.SetWorkers(*workers)
+	core.SetPipelineDefault(*pipelined)
+	core.SetQuantDefault(*quant)
+
+	cfg := fleet.DefaultConfig()
+	cfg.Vehicles = *vehicles
+	cfg.Regions = *regions
+	cfg.Epoch = *epoch
+	cfg.Seed = *seed
+	cfg.DemandPerHour = *demand
+	cfg.PerceptionEvery = *perception
+	cfg.Vehicle = core.DefaultConfig()
+	if *pipelined {
+		cfg.Vehicle.PipelineForce = true
+	}
+
+	if *tracePath != "" {
+		out := os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		bw := bufio.NewWriterSize(out, 1<<16)
+		defer bw.Flush()
+		cfg.Trace = bw
+	}
+
+	var reg *obs.Registry
+	fl := fleet.New(cfg)
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		fl.AttachMetrics(reg)
+	}
+
+	start := time.Now()
+	sum := fl.Run(*duration)
+	wall := time.Since(start)
+
+	fmt.Print(sum.Render())
+	rate := float64(sum.Vehicles) * sum.VirtualTime.Seconds() / wall.Seconds()
+	fmt.Printf("host: %v wall for %v virtual x %d vehicles (%.0f vehicle-seconds/sec, %d workers)\n",
+		wall.Round(time.Millisecond), sum.VirtualTime, sum.Vehicles, rate, parallel.Workers())
+	if *hist {
+		fmt.Print(fl.WaitHistogram(48))
+	}
+
+	if reg != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*metricsPath, ".json") {
+			err = reg.WriteJSON(f, true)
+		} else {
+			err = reg.WriteText(f, true)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+	}
+}

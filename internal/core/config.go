@@ -75,6 +75,18 @@ type Config struct {
 	// fixed-point dataflow (DESIGN.md §8).
 	Quant bool
 
+	// LeanReport keeps the report's latency statistics as streaming
+	// Welford accumulators instead of raw samples. A single vehicle's
+	// characterization run wants the full Fig. 10 distributions; a fleet
+	// of thousands of vehicles cannot afford per-cycle sample retention,
+	// and only consumes the means and counters anyway.
+	LeanReport bool
+	// StartOffsetM places the vehicle this many meters along the route
+	// centerline instead of at the first lane's start — fleet runs stagger
+	// vehicles around a shared region loop with it. Zero keeps the
+	// historical placement.
+	StartOffsetM float64
+
 	// Detector configures the oracle-noise detection channel.
 	Detector detect.Config
 

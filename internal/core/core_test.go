@@ -347,8 +347,62 @@ func TestRenderHistogram(t *testing.T) {
 		t.Fatalf("histogram:\n%s", out)
 	}
 	var empty Report
-	empty.init()
+	empty.init(false)
 	if !strings.Contains(empty.RenderHistogram(5, 10), "no cycles") {
 		t.Fatal("empty histogram should say so")
+	}
+}
+
+// TestIncrementalAdvanceMatchesRun pins the fleet-facing decomposition:
+// Start + AdvanceTo in 1 s epochs + Finish must produce the same report
+// as a one-shot Run, byte for byte — the epoch barriers only slice the
+// event loop, they never reorder or perturb it.
+func TestIncrementalAdvanceMatchesRun(t *testing.T) {
+	const horizon = 30 * time.Second
+	oneShot := New(DefaultConfig(), CruiseScenario(3)).Run(horizon)
+
+	s := New(DefaultConfig(), CruiseScenario(3))
+	s.Start()
+	for at := time.Second; at <= horizon; at += time.Second {
+		s.AdvanceTo(at)
+		if s.Now() != at {
+			t.Fatalf("Now() = %v after AdvanceTo(%v)", s.Now(), at)
+		}
+	}
+	stepped := s.Finish(horizon)
+
+	if got, want := stepped.Render(), oneShot.Render(); got != want {
+		t.Fatalf("epoch-stepped report differs from one-shot Run:\n--- stepped ---\n%s\n--- one-shot ---\n%s", got, want)
+	}
+	if stepped.Cycles != oneShot.Cycles || stepped.Collisions != oneShot.Collisions {
+		t.Fatalf("stepped cycles/collisions %d/%d vs %d/%d",
+			stepped.Cycles, stepped.Collisions, oneShot.Cycles, oneShot.Collisions)
+	}
+}
+
+// TestLeanReportMatchesFullMeans pins the lean (Welford) report against
+// the sample-retaining one: identical cycle counts and matching latency
+// means, with rendering and the derived shares staying finite.
+func TestLeanReportMatchesFullMeans(t *testing.T) {
+	full := cruiseReport(t, nil)
+	lean := cruiseReport(t, func(c *Config) { c.LeanReport = true })
+	if lean.Cycles != full.Cycles {
+		t.Fatalf("lean cycles %d vs full %d", lean.Cycles, full.Cycles)
+	}
+	if math.Abs(lean.MeanTcompMS()-full.Tcomp.Mean()) > 1e-6 {
+		t.Fatalf("lean Tcomp mean %.4f vs full %.4f", lean.MeanTcompMS(), full.Tcomp.Mean())
+	}
+	if math.Abs(lean.MeanE2EMS()-full.EndToEnd.Mean()) > 1e-6 {
+		t.Fatalf("lean e2e mean %.4f vs full %.4f", lean.MeanE2EMS(), full.EndToEnd.Mean())
+	}
+	if math.Abs(lean.ComputeShare()-full.ComputeShare()) > 1e-6 {
+		t.Fatal("lean compute share diverged")
+	}
+	out := lean.Render()
+	if !strings.Contains(out, "lean report") {
+		t.Fatalf("lean render missing marker:\n%s", out)
+	}
+	if !strings.Contains(lean.RenderHistogram(5, 10), "no cycles") {
+		t.Fatal("lean histogram should degrade gracefully")
 	}
 }

@@ -229,7 +229,7 @@ func (s *SoV) captureInto(fr *cycleFrame) {
 	}
 	s.outstanding = s.outstanding[:n]
 	fr.inflight = len(s.outstanding)
-	s.report.PipelineDepth.Observe(float64(fr.inflight))
+	s.report.observeDepth(fr.inflight)
 	s.outstanding = append(s.outstanding, fr.t0+fr.d.Tcomp+fr.tdata)
 	s.observeCycleMetrics(fr)
 }

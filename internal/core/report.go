@@ -77,19 +77,32 @@ type Report struct {
 	reactiveSteps int
 	physSteps     int
 	lateralSumSq  float64
+
+	// Lean mode (Config.LeanReport): per-cycle latencies fold into
+	// streaming accumulators instead of the raw Samples above, so a
+	// thousand-vehicle fleet does not retain every cycle of every vehicle.
+	// The observation order is the serial cycle order either way, so the
+	// accumulated means are deterministic.
+	lean      bool
+	leanTcomp stats.Welford
+	leanE2E   stats.Welford
+	leanDepth stats.Welford
 }
 
-func (r *Report) init() {
-	r.Tcomp = stats.NewSample()
-	r.Sensing = stats.NewSample()
-	r.Perception = stats.NewSample()
-	r.Planning = stats.NewSample()
-	r.Depth = stats.NewSample()
-	r.Detection = stats.NewSample()
-	r.Tracking = stats.NewSample()
-	r.Localization = stats.NewSample()
-	r.EndToEnd = stats.NewSample()
-	r.PipelineDepth = stats.NewSample()
+func (r *Report) init(lean bool) {
+	r.lean = lean
+	if !lean {
+		r.Tcomp = stats.NewSample()
+		r.Sensing = stats.NewSample()
+		r.Perception = stats.NewSample()
+		r.Planning = stats.NewSample()
+		r.Depth = stats.NewSample()
+		r.Detection = stats.NewSample()
+		r.Tracking = stats.NewSample()
+		r.Localization = stats.NewSample()
+		r.EndToEnd = stats.NewSample()
+		r.PipelineDepth = stats.NewSample()
+	}
 	r.MinClearance = math.Inf(1)
 	r.collided = make(map[int]bool)
 }
@@ -98,6 +111,10 @@ func ms(d time.Duration) float64 { return d.Seconds() * 1000 }
 
 func (r *Report) observe(d latencyDraw) {
 	r.Cycles++
+	if r.lean {
+		r.leanTcomp.Observe(ms(d.Tcomp))
+		return
+	}
 	r.Tcomp.Observe(ms(d.Tcomp))
 	r.Sensing.Observe(ms(d.Sensing))
 	r.Perception.Observe(ms(d.Perception))
@@ -109,7 +126,47 @@ func (r *Report) observe(d latencyDraw) {
 }
 
 func (r *Report) observeE2E(total time.Duration) {
+	if r.lean {
+		r.leanE2E.Observe(ms(total))
+		return
+	}
 	r.EndToEnd.Observe(ms(total))
+}
+
+func (r *Report) observeDepth(inflight int) {
+	if r.lean {
+		r.leanDepth.Observe(float64(inflight))
+		return
+	}
+	r.PipelineDepth.Observe(float64(inflight))
+}
+
+// MeanTcompMS returns the mean per-cycle computing latency in milliseconds,
+// from whichever store the report keeps (raw samples or the lean
+// accumulator).
+func (r *Report) MeanTcompMS() float64 {
+	if r.lean {
+		return r.leanTcomp.Mean()
+	}
+	return r.Tcomp.Mean()
+}
+
+// MeanE2EMS returns the mean end-to-end latency (Tcomp+Tdata+Tmech) in
+// milliseconds.
+func (r *Report) MeanE2EMS() float64 {
+	if r.lean {
+		return r.leanE2E.Mean()
+	}
+	return r.EndToEnd.Mean()
+}
+
+// MeanPipelineDepth returns the mean number of commands in flight at
+// capture.
+func (r *Report) MeanPipelineDepth() float64 {
+	if r.lean {
+		return r.leanDepth.Mean()
+	}
+	return r.PipelineDepth.Mean()
 }
 
 func (r *Report) finish(duration time.Duration, s *SoV) {
@@ -131,15 +188,16 @@ func (r *Report) finish(duration time.Duration, s *SoV) {
 
 // ComputeShare returns mean Tcomp / mean end-to-end (the paper: 88%).
 func (r *Report) ComputeShare() float64 {
-	if r.EndToEnd.Mean() == 0 {
+	if r.MeanE2EMS() == 0 {
 		return 0
 	}
-	return r.Tcomp.Mean() / r.EndToEnd.Mean()
+	return r.MeanTcompMS() / r.MeanE2EMS()
 }
 
-// SensingShare returns mean sensing / mean Tcomp (the paper: ≈50%).
+// SensingShare returns mean sensing / mean Tcomp (the paper: ≈50%). Lean
+// reports do not retain the per-stage breakdown and return zero.
 func (r *Report) SensingShare() float64 {
-	if r.Tcomp.Mean() == 0 {
+	if r.lean || r.Tcomp.Mean() == 0 {
 		return 0
 	}
 	return r.Sensing.Mean() / r.Tcomp.Mean()
@@ -147,6 +205,9 @@ func (r *Report) SensingShare() float64 {
 
 // Render formats the Fig. 10-style characterization tables.
 func (r *Report) Render() string {
+	if r.lean {
+		return r.renderLean()
+	}
 	var b strings.Builder
 	row := func(name string, s *stats.Sample) {
 		fmt.Fprintf(&b, "%-14s best=%7.1f  mean=%7.1f  p99=%7.1f  max=%7.1f ms\n",
@@ -198,10 +259,32 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
+// renderLean is the compact characterization of a lean report: means and
+// counters only, no distributions.
+func (r *Report) renderLean() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "computing latency (Tcomp) over %d cycles: mean=%.1f ms (lean report, no distribution)\n",
+		r.Cycles, r.leanTcomp.Mean())
+	fmt.Fprintf(&b, "end-to-end (=Tcomp+Tdata+Tmech): mean=%.1f ms, computing share=%.0f%%\n",
+		r.leanE2E.Mean(), 100*r.ComputeShare())
+	fmt.Fprintf(&b, "throughput: %.1f Hz commands, proactive %.1f%% of time, %d reactive engagements\n",
+		r.ThroughputHz, 100*r.ProactiveFraction, r.ReactiveEngagements)
+	fmt.Fprintf(&b, "safety: %d collisions, min clearance %.2f m, distance %.0f m\n",
+		r.Collisions, r.MinClearance, r.DistanceM)
+	fmt.Fprintf(&b, "energy: AD system used %.1f Wh (%.2f%% of the 6 kWh pack)\n",
+		r.ADEnergyWh, 100*r.BatteryShare)
+	fmt.Fprintf(&b, "navigation: lane-keeping RMS %.3f m\n", r.LateralRMSM)
+	fmt.Fprintf(&b, "pipeline depth (commands in flight at capture): mean=%.2f\n", r.leanDepth.Mean())
+	if r.PipelineDecision != "" {
+		fmt.Fprintf(&b, "control loop: %s\n", r.PipelineDecision)
+	}
+	return b.String()
+}
+
 // RenderHistogram draws the Tcomp distribution as a terminal bar chart
 // (the visual form of Fig. 10a).
 func (r *Report) RenderHistogram(bins, width int) string {
-	if r.Tcomp.N() == 0 {
+	if r.lean || r.Tcomp.N() == 0 {
 		return "(no cycles)\n"
 	}
 	lo := r.Tcomp.Min()

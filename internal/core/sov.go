@@ -55,9 +55,10 @@ type SoV struct {
 	spans *obs.SpanWriter
 	box   *obs.FlightRecorder
 
-	report Report
-	cycle  int
-	seq    uint16
+	report  Report
+	cycle   int
+	seq     uint16
+	started bool
 
 	// Staged control-loop state: the recycled serial frame, the pipelined
 	// runtime (nil in serial mode), the in-flight command deadlines behind
@@ -84,9 +85,25 @@ func New(cfg Config, w *world.World) *SoV {
 		lane = w.Lanes[0]
 		route = world.Route{Lanes: w.Lanes}
 	}
+	// Fleet runs stagger vehicles along a shared region loop: walk the
+	// route to the requested centerline offset (wrapping around closed
+	// routes) and start there instead of at the first lane's head.
+	startPos, startHeading := lane.Start, lane.Direction().Angle()
+	if cfg.StartOffsetM > 0 && route.TotalLength() > 0 {
+		off := math.Mod(cfg.StartOffsetM, route.TotalLength())
+		for _, l := range route.Lanes {
+			if off <= l.Length() {
+				startPos = l.CenterAt(off)
+				startHeading = l.Direction().Angle()
+				lane = l
+				break
+			}
+			off -= l.Length()
+		}
+	}
 	veh := vehicle.New(cfg.Vehicle, vehicle.State{
-		Pos:     lane.Start,
-		Heading: lane.Direction().Angle(),
+		Pos:     startPos,
+		Heading: startHeading,
 		Speed:   cfg.TargetSpeed,
 	})
 	s := &SoV{
@@ -115,13 +132,20 @@ func New(cfg Config, w *world.World) *SoV {
 	}
 	s.battery = vehicle.NewBattery(models.DefaultEnergyModel().CapacityKWh)
 	s.serialFrame = newCycleFrame()
-	s.report.init()
+	s.report.init(cfg.LeanReport)
 	s.report.QuantizedPerception = cfg.Quant
 	return s
 }
 
 // Battery exposes the pack for long-run inspection.
 func (s *SoV) Battery() *vehicle.Battery { return s.battery }
+
+// Cycles returns the number of control cycles captured so far (live — the
+// fleet substrate reads it between epochs without finishing the run).
+func (s *SoV) Cycles() int { return s.cycle }
+
+// CollisionCount returns the obstacle contacts recorded so far.
+func (s *SoV) CollisionCount() int { return s.report.Collisions }
 
 // Vehicle exposes the vehicle for scenario assertions.
 func (s *SoV) Vehicle() *vehicle.Vehicle { return s.veh }
@@ -133,8 +157,24 @@ func (s *SoV) pose() world.Pose {
 }
 
 // Run executes the simulation for the given duration and returns the
-// accumulated report.
+// accumulated report. It is Start + AdvanceTo(duration) + Finish — the
+// fleet substrate calls the three phases itself to advance many vehicles
+// in lockstep epochs.
 func (s *SoV) Run(duration time.Duration) *Report {
+	s.Start()
+	s.AdvanceTo(duration)
+	return s.Finish(duration)
+}
+
+// Start arms the control loop: it resolves the serial/pipelined execution
+// mode and schedules the periodic physics, control, and reactive events.
+// Idempotent — a second Start (or a Run after a Start) is a no-op, so an
+// epoch driver can Start once and AdvanceTo repeatedly.
+func (s *SoV) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
 	ctrlPeriod := time.Duration(float64(time.Second) / s.cfg.ControlRate)
 	physPeriod := time.Duration(float64(time.Second) / s.cfg.PhysicsRate)
 	reactiveRate := s.cfg.ReactiveRate
@@ -164,7 +204,28 @@ func (s *SoV) Run(duration time.Duration) *Report {
 	if s.obsM != nil {
 		s.obsM.par0 = parallel.CounterSnapshot()
 	}
-	s.engine.Run(duration)
+}
+
+// AdvanceTo processes events up to the absolute virtual time t. Repeated
+// calls with increasing horizons advance the run incrementally; each call
+// leaves the clock exactly at t (unless the engine stopped — battery
+// exhaustion or a scenario probe — which Halted reports).
+func (s *SoV) AdvanceTo(t time.Duration) {
+	s.engine.Run(t)
+}
+
+// Now returns the vehicle's current virtual time.
+func (s *SoV) Now() time.Duration { return s.engine.Now() }
+
+// Halted reports whether the engine stopped before its last horizon: the
+// periodic events are gone, so further AdvanceTo calls cannot revive the
+// vehicle.
+func (s *SoV) Halted() bool { return s.engine.Stopped() }
+
+// Finish closes out an incrementally advanced run: it drains the pipelined
+// runtime (if armed), finalizes the report over the given total duration,
+// and publishes the run-summary metrics.
+func (s *SoV) Finish(duration time.Duration) *Report {
 	s.stopPipeline()
 	s.report.finish(duration, s)
 	s.publishRunMetrics()

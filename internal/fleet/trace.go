@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"io"
+	"strconv"
+)
+
+// traceWriter emits one JSONL record per epoch. The encoder is hand-rolled
+// over strconv.Append* into a single reused buffer: fmt would box every
+// argument into an interface (one alloc each), which would blow the
+// substrate's zero-steady-state-alloc budget at thousands of epochs. The
+// record is a pure function of barrier state, so trace bytes are identical
+// for any -workers count — the determinism tests diff them directly.
+type traceWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func newTraceWriter(w io.Writer) *traceWriter {
+	return &traceWriter{w: w, buf: make([]byte, 0, 1024)}
+}
+
+func (t *traceWriter) key(k string) {
+	t.buf = append(t.buf, ',', '"')
+	t.buf = append(t.buf, k...)
+	t.buf = append(t.buf, '"', ':')
+}
+
+func (t *traceWriter) intField(k string, v int64) {
+	t.key(k)
+	t.buf = strconv.AppendInt(t.buf, v, 10)
+}
+
+func (t *traceWriter) floatField(k string, v float64) {
+	t.key(k)
+	t.buf = strconv.AppendFloat(t.buf, v, 'f', 3, 64)
+}
+
+// record writes the epoch line. Runs on the serial barrier after dispatch,
+// so the assignment list is the epoch's complete decision log — the replay
+// test re-derives it from the seed and compares.
+func (t *traceWriter) record(f *Fleet, completed int) {
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, `{"epoch":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(f.epoch), 10)
+	t.intField("t_ms", f.epochEnd.Milliseconds())
+	t.intField("arrived", f.totArrived)
+	t.key("assignments")
+	t.buf = append(t.buf, '[')
+	for i, a := range f.assignments {
+		if i > 0 {
+			t.buf = append(t.buf, ',')
+		}
+		t.buf = append(t.buf, '[')
+		t.buf = strconv.AppendInt(t.buf, a.rider, 10)
+		t.buf = append(t.buf, ',')
+		t.buf = strconv.AppendInt(t.buf, int64(a.vehicle), 10)
+		t.buf = append(t.buf, ']')
+	}
+	t.buf = append(t.buf, ']')
+	t.intField("completed", int64(completed))
+	t.intField("trips", f.totCompleted)
+	t.intField("waiting", int64(f.waiting()))
+	idle, busy, charging, halted := f.counts()
+	t.intField("idle", int64(idle))
+	t.intField("busy", int64(busy))
+	t.intField("charging", int64(charging))
+	t.intField("halted", int64(halted))
+	t.intField("cycles", f.cycles())
+	t.intField("collisions", int64(f.collisions()))
+	t.floatField("dist_m", f.distance())
+	t.floatField("soc", f.meanSoC())
+	t.buf = append(t.buf, '}', '\n')
+	t.w.Write(t.buf)
+}

@@ -80,6 +80,13 @@ var hotKernels = map[string][]string{
 		// Per-cycle telemetry emitters feeding the obs layer (DESIGN.md §9).
 		"SoV.recordSpans", "SoV.recordBox", "SoV.observeCycleMetrics",
 	},
+	"sov/internal/fleet": {
+		// Fleet epoch-loop leaves (DESIGN.md §11): ring geometry for the
+		// dispatcher, Poisson demand draws, RNG stream derivation, and the
+		// synthetic per-vehicle frame fill — all on the
+		// zero-steady-state-alloc epoch path.
+		"ringPos", "ringDist", "poisson", "splitSeed", "fillInput",
+	},
 }
 
 // funcKey names a declaration the way hotKernels does.

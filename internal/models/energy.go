@@ -30,6 +30,22 @@ func (m EnergyModel) DrivingTimeHours(padKW float64) float64 {
 	return m.CapacityKWh / (m.VehiclePowerKW + padKW)
 }
 
+// DepotChargeRateKW is the nominal depot charger power for the deployed
+// fleet: a level-2-class 3 kW feed, which refills the 6 kWh pack in about
+// two hours — the recharge-downtime constant the fleet dispatcher's
+// availability metric is built on.
+const DepotChargeRateKW = 3.0
+
+// RechargeHours returns how long a charger of chargeKW takes to restore
+// deltaSoC (a fraction of the pack) — the out-of-service window a vehicle
+// pays per depot visit.
+func (m EnergyModel) RechargeHours(deltaSoC, chargeKW float64) float64 {
+	if chargeKW <= 0 || deltaSoC <= 0 {
+		return 0
+	}
+	return deltaSoC * m.CapacityKWh / chargeKW
+}
+
 // ReducedDrivingTimeHours implements Eq. 2.
 func (m EnergyModel) ReducedDrivingTimeHours(padKW float64) float64 {
 	return m.CapacityKWh/m.VehiclePowerKW - m.DrivingTimeHours(padKW)

@@ -120,3 +120,18 @@ func TestEnergyModelValidate(t *testing.T) {
 		t.Fatal("zero model should be invalid")
 	}
 }
+
+func TestRechargeHours(t *testing.T) {
+	m := DefaultEnergyModel()
+	// Full 6 kWh pack on the 3 kW depot feed: 2 hours out of service.
+	if got := m.RechargeHours(1, DepotChargeRateKW); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("full recharge = %v h, want 2", got)
+	}
+	// The fleet's usual 20% → 95% top-up is three quarters of that.
+	if got := m.RechargeHours(0.75, DepotChargeRateKW); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("0.75 SoC recharge = %v h, want 1.5", got)
+	}
+	if m.RechargeHours(0, DepotChargeRateKW) != 0 || m.RechargeHours(0.5, 0) != 0 {
+		t.Fatal("degenerate inputs must cost no time")
+	}
+}

@@ -11,6 +11,22 @@ import (
 // size-classed by power of two; Get returns a slice of the requested
 // length whose contents are unspecified — callers must overwrite before
 // reading (or use the Zeroed variants).
+//
+// Cross-vehicle sharing (fleet audit, DESIGN.md §11). These pools are
+// process-global: in a fleet run every vehicle's kernels draw from the
+// same free lists, concurrently. That is safe under one ownership rule —
+// between Get and the matching Put a buffer has exactly one owner, and
+// Put surrenders it: the caller must hold no alias past Put (no stashing
+// a sub-slice in longer-lived state). Every repo call site follows the
+// paired get/defer-put or get/use/put-in-same-frame shape; nothing
+// retains pooled memory across a frame boundary. The floor-class rule in
+// Put (a non-power-of-two cap files under the next class down) can only
+// shrink the capacity a future Get sees, never splice two live buffers
+// together, so aliasing can arise from a double Put alone — which the
+// ownership rule forbids. TestPoolNoCrossOwnerAliasing churns the pools
+// from many goroutines with per-owner tags (and the fleet's 64-vehicle
+// -race test exercises the same property end to end through the full
+// perception stack).
 
 const poolClasses = 31
 

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolNoCrossOwnerAliasing is the fleet-era pool hygiene regression
+// test: many concurrent owners churn the global size-classed pools, each
+// stamping a unique tag over its whole buffer and verifying the stamp
+// survives until Put. If the pools ever handed one buffer to two live
+// owners (double Put, size-class splice, racing free list), a foreign tag
+// shows up — and under -race the write collision trips the detector too.
+func TestPoolNoCrossOwnerAliasing(t *testing.T) {
+	const (
+		owners = 16
+		rounds = 200
+	)
+	sizes := []int{1, 7, 64, 100, 1000, 4096}
+	var wg sync.WaitGroup
+	errs := make(chan string, owners)
+	for o := 0; o < owners; o++ {
+		wg.Add(1)
+		go func(tag int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n := sizes[(tag+r)%len(sizes)]
+				f64 := GetF64(n)
+				f32 := GetF32(n)
+				i32 := GetI32(n)
+				u64 := GetU64(n)
+				ints := GetIntsZeroed(n)
+				for i := 0; i < n; i++ {
+					f64[i] = float64(tag)
+					f32[i] = float32(tag)
+					i32[i] = int32(tag)
+					u64[i] = uint64(tag)
+					if ints[i] != 0 {
+						errs <- "GetIntsZeroed returned a dirty buffer"
+						return
+					}
+					ints[i] = tag
+				}
+				for i := 0; i < n; i++ {
+					if f64[i] != float64(tag) || f32[i] != float32(tag) ||
+						i32[i] != int32(tag) || u64[i] != uint64(tag) || ints[i] != tag {
+						errs <- "buffer mutated while owned: two owners alias one pooled slice"
+						return
+					}
+				}
+				PutF64(f64)
+				PutF32(f32)
+				PutI32(i32)
+				PutU64(u64)
+				PutInts(ints)
+			}
+		}(o + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestPoolFloorClassCapacity pins the floor-class rule the aliasing
+// audit leans on: a returned slice with a non-power-of-two capacity is
+// filed under the class whose buffers it can fully satisfy, so a future
+// Get never receives a slice shorter than it asked for.
+func TestPoolFloorClassCapacity(t *testing.T) {
+	s := make([]float64, 100) // cap 100: between classes 6 (64) and 7 (128)
+	PutF64(s)
+	for i := 0; i < 8; i++ {
+		got := GetF64(100)
+		if len(got) != 100 {
+			t.Fatalf("GetF64(100) returned len %d", len(got))
+		}
+		PutF64(got)
+	}
+	// Class 6 requests must also be satisfiable by the odd-capacity buffer.
+	got := GetF64(64)
+	if len(got) != 64 {
+		t.Fatalf("GetF64(64) returned len %d", len(got))
+	}
+	PutF64(got)
+}

@@ -99,6 +99,12 @@ func (e *Engine) Every(period time.Duration, name string, fn func()) {
 // Stop halts the run loop after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopped reports whether the engine was halted by Stop since the last Run
+// began. Incremental drivers (the fleet epoch loop) check it between Run
+// horizons: a stopped engine has dropped its periodic events, so advancing
+// it further is a no-op and the vehicle should be retired instead.
+func (e *Engine) Stopped() bool { return e.stopped }
+
 // Run processes events until the queue is empty, the horizon is exceeded, or
 // Stop is called. It returns the number of events processed.
 func (e *Engine) Run(horizon time.Duration) int {

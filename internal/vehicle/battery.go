@@ -33,6 +33,19 @@ func (b *Battery) Drain(loadKW float64, dt time.Duration) bool {
 	return b.SoC > 0
 }
 
+// Charge adds energy from a charger of the given power over an interval;
+// SoC clamps at one. It reports whether the pack reached full charge.
+func (b *Battery) Charge(chargeKW float64, dt time.Duration) bool {
+	if b.CapacityKWh <= 0 {
+		return false
+	}
+	b.SoC += chargeKW * dt.Hours() / b.CapacityKWh
+	if b.SoC > 1 {
+		b.SoC = 1
+	}
+	return b.SoC >= 1
+}
+
 // RemainingKWh returns the usable energy left.
 func (b *Battery) RemainingKWh() float64 { return b.SoC * b.CapacityKWh }
 

@@ -335,3 +335,24 @@ func TestBatteryClampsAtZero(t *testing.T) {
 		t.Fatal("zero load should return effectively infinite time")
 	}
 }
+
+func TestBatteryCharge(t *testing.T) {
+	b := NewBattery(6)
+	b.SoC = 0.5
+	// 3 kW for one hour adds half the 6 kWh pack.
+	if full := b.Charge(3, time.Hour); !full || math.Abs(b.SoC-1) > 1e-12 {
+		t.Fatalf("after 1 h at 3 kW: SoC %.3f full=%v, want 1.0 true", b.SoC, full)
+	}
+	// Charging a full pack clamps at 1 and keeps reporting full.
+	if full := b.Charge(3, time.Hour); !full || b.SoC > 1 {
+		t.Fatalf("overcharge: SoC %.3f full=%v", b.SoC, full)
+	}
+	b.SoC = 0.2
+	if full := b.Charge(3, 30*time.Minute); full || math.Abs(b.SoC-0.45) > 1e-12 {
+		t.Fatalf("after 30 min at 3 kW: SoC %.3f full=%v, want 0.45 false", b.SoC, full)
+	}
+	var zero Battery
+	if zero.Charge(3, time.Hour) {
+		t.Fatal("zero-capacity pack cannot report full")
+	}
+}

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	sovlint [-workers n] [-list] [packages...]
+//	sovlint [-workers n] [-list] [-json] [packages...]
 //
 // Packages are directories or "./..." (the default: every package under
 // the module root). Findings print as "file:line:col: [analyzer] message"
+// — or, with -json, as a stable JSON array CI can diff byte-for-byte —
 // and the exit status is 1 when any survive suppression. See DESIGN.md §7
 // for the invariants and the //sovlint annotation grammar.
 package main
@@ -27,6 +28,7 @@ import (
 func main() {
 	workers := flag.Int("workers", 0, "worker count for the analyzer matrix (0 = NumCPU); findings are identical for any value")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (stable field and finding order)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sovlint [flags] [./... | dirs]\n")
 		flag.PrintDefaults()
@@ -80,8 +82,16 @@ func main() {
 	}
 
 	findings := lint.Run(pkgs, lint.Analyzers())
-	for _, line := range lint.Format(findings, modRoot) {
-		fmt.Println(line)
+	if *jsonOut {
+		b, err := lint.FormatJSON(findings, modRoot)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+	} else {
+		for _, line := range lint.Format(findings, modRoot) {
+			fmt.Println(line)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "sovlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))

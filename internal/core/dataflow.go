@@ -130,6 +130,7 @@ func (s *SoV) stopPipeline() {
 	s.pipe.Drain()
 	s.pipe.Stop()
 	s.report.Pipeline = &PipelineStats{Stages: s.pipe.Stats(), Pool: s.framePool.Stats()}
+	//sovlint:ignore detflow the PIDHost span track is host-class diagnostics by contract, outside the determinism boundary
 	s.emitHostSpans(s.report.Pipeline)
 	s.pipe = nil
 	s.framePool = nil

@@ -127,6 +127,8 @@ func (s *SoV) AttachFlightRecorder(f *obs.FlightRecorder) { s.box = f }
 
 // observeCycleMetrics records the capture-time steady-state metrics. Called
 // at the end of captureInto, on the engine thread.
+//
+//sov:hotpath
 func (s *SoV) observeCycleMetrics(fr *cycleFrame) {
 	m := s.obsM
 	if m == nil {
@@ -150,6 +152,8 @@ func (s *SoV) observeE2E(total time.Duration) {
 // the plan stage (the only SpanWriter caller during a run), so pipelined and
 // serial modes produce identical event sets; the writer's sort-at-Close
 // keeps each lane monotonic regardless of latency overlap between cycles.
+//
+//sov:hotpath
 func (s *SoV) recordSpans(fr *cycleFrame) {
 	sw := s.spans
 	if sw == nil {
@@ -178,6 +182,8 @@ func (s *SoV) recordSpans(fr *cycleFrame) {
 // recordBox files one cycle with the flight recorder. Runs on the plan
 // stage; all fields are capture-time snapshots, so ring content at any
 // virtual time is mode-independent.
+//
+//sov:hotpath
 func (s *SoV) recordBox(fr *cycleFrame) {
 	if s.box == nil {
 		return

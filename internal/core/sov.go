@@ -335,6 +335,7 @@ func (s *SoV) pipedCycle() {
 	s.captureInto(fr)
 	s.observeE2E(fr.d.Tcomp + fr.tdata + s.cfg.Vehicle.MechLatency)
 	s.engine.Schedule(fr.d.Tcomp+fr.tdata, "command-delivery", fr.deliver)
+	//sovlint:ignore poolescape ownership transfers into the stage pipeline by design; the frame's delivery event Puts it back
 	s.pipe.Submit(fr)
 }
 

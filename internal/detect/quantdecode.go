@@ -67,7 +67,6 @@ func DecodeQuantGridInto(dst []BBox, raw *nn.QTensor, classes int, lut *nn.Sigmo
 	buckets := make([][]BBox, parallel.Tiles(cells, decodeGrain))
 	//sovlint:ignore hotalloc fan-out closure only exists on the parallel path; the serial path above is allocation-free
 	parallel.ForTiled(cells, decodeGrain, func(tile, i0, i1 int) {
-		//sovlint:ignore hotalloc per-tile bucket grows only when cells survive the threshold
 		var out []BBox
 		for i := i0; i < i1; i++ {
 			if raw.Data[i] < thr { // objectness plane is the tensor's first H×W block
@@ -126,7 +125,6 @@ func RunQuantCNNInto(dst []BBox, model *nn.QYOLOHead, input *nn.Tensor, objThres
 func RunQuantCNNBatch(out [][]BBox, model *nn.QYOLOHead, inputs []*nn.Tensor, objThreshold, iouThreshold float32, s *QuantDetectScratch) [][]BBox {
 	s.raws = model.ForwardRawBatch(s.raws, inputs)
 	for len(out) < len(inputs) {
-		//sovlint:ignore hotalloc growth settles once out holds a batch; warm cycles reuse the per-camera slices
 		out = append(out, nil)
 	}
 	out = out[:len(inputs)]

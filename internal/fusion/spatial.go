@@ -111,6 +111,7 @@ type SyncScratch struct {
 
 func growBools(s []bool, n int) []bool {
 	if cap(s) < n {
+		//sovlint:ignore hotalloc grow-on-demand scratch; capacity sticks to the high-water mark
 		return make([]bool, n)
 	}
 	s = s[:n]

@@ -1,0 +1,30 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintRepo measures one full sovlint run over the module: a fresh
+// Loader (parse + type-check every package; the stdlib comes from the
+// process-wide shared importer cache after the first iteration) plus the
+// complete analyzer matrix. This is the loop CI and the pre-push hook pay
+// for, and the benchmark pins the shared-stdlib-type-check win: without the
+// cache every iteration re-checks tens of thousands of GOROOT source lines.
+func BenchmarkLintRepo(b *testing.B) {
+	modRoot, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader(modRoot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := Run(pkgs, Analyzers()); len(findings) > 0 {
+			b.Fatalf("repo is not lint-clean (%d findings)", len(findings))
+		}
+	}
+}

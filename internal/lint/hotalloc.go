@@ -1,18 +1,35 @@
 package lint
 
-// hotalloc: no allocation sites in hot-path functions.
+// hotalloc: no allocation sites in hot-path functions — directly or
+// transitively.
 //
 // PR 2 cut the steady-state control cycle to <1 allocation; that number is
 // load-bearing (the alloc gate in CI and the latency model's assumption
 // that Tcomp has no GC noise in it). This analyzer makes the property
-// reviewable: inside functions annotated //sov:hotpath — plus the known
-// per-frame kernel set in isp/nn/pointcloud/detect/fusion — it flags the
+// reviewable: inside functions annotated //sov:hotpath it flags the
 // constructs that allocate on every call: make/new, escaping (&T{...})
 // composite literals, slice and map literals, append onto a slice declared
 // without capacity, fmt calls, string concatenation and string<->[]byte
 // conversions, interface boxing, and closures. Allocation sites inside
 // panic arguments are exempt (shape-check error paths never run in steady
 // state). Intentional exceptions carry //sovlint:ignore with a reason.
+//
+// v2 (DESIGN.md §12) adds the interprocedural half: per-function
+// "may-allocate" summaries are inferred bottom-up over the call graph, so a
+// hot kernel calling an allocating helper is flagged at the call site with
+// a witness chain down to the offending construct. A //sovlint:ignore on an
+// allocation site sanctions it for summaries too (amortized-zero grow paths
+// do not poison their callers), and callees that are themselves annotated
+// //sov:hotpath are skipped — their own pass reports their sites. Dynamic
+// calls (function values, interface methods) and calls outside the loaded
+// set have no summary and are assumed allocation-free; fmt, the worst
+// stdlib offender, is still caught per-site.
+//
+// The //sov:hotpath annotation is the source of truth for what is hot. The
+// built-in hotKernels table is a drift-checked regression list of the
+// kernels the steady-state alloc gates measure: VerifyHotKernels fails if a
+// listed function disappears (rename drift) or loses its annotation
+// (coverage drift).
 
 import (
 	"go/ast"
@@ -20,18 +37,21 @@ import (
 	"go/types"
 )
 
-// HotAlloc flags allocation sites in //sov:hotpath functions and the known
-// kernel set.
+// HotAlloc flags allocation sites — intrinsic or via may-allocate callees —
+// in //sov:hotpath functions.
 var HotAlloc = &Analyzer{
-	Name: "hotalloc",
-	Doc:  "allocation sites in //sov:hotpath functions and the known per-frame kernel set",
-	Run:  runHotAlloc,
+	Name:         "hotalloc",
+	Doc:          "allocation sites (direct or via may-allocate callees) in //sov:hotpath functions",
+	NeedsProgram: true,
+	Run:          runHotAlloc,
 }
 
-// hotKernels is the built-in per-frame kernel set: the zero-allocation
-// Into-variants and inner-loop kernels the steady-state alloc gate
-// measures. Methods are named "Receiver.Method". Entries must resolve to
-// real functions — TestHotKernelTableFresh fails on drift.
+// hotKernels is the regression list of per-frame kernels: the
+// zero-allocation Into-variants and inner-loop kernels the steady-state
+// alloc gates measure. Methods are named "Receiver.Method". Every entry
+// must resolve to a declared function carrying //sov:hotpath —
+// TestHotKernelTableFresh fails on either kind of drift. Coverage itself
+// comes from the annotations; this table only pins the measured set.
 var hotKernels = map[string][]string{
 	"sov/internal/isp": {
 		"PixelPipelineConfig.ProcessInto", "boxBlur3Into",
@@ -107,29 +127,40 @@ func funcKey(fn *ast.FuncDecl) string {
 	return fn.Name.Name
 }
 
-// VerifyHotKernels returns the hotKernels entries that did not match any
-// function declaration in the given packages — the drift guard the
-// meta-test runs so a rename cannot silently drop a kernel from coverage.
+// VerifyHotKernels checks the regression list against the given packages
+// and returns one entry per problem: a listed function that no longer
+// resolves to a declaration (rename drift) or that no longer carries the
+// //sov:hotpath annotation (coverage drift — the annotation, not this
+// table, is what the analyzer enforces).
 func VerifyHotKernels(pkgs []*Package) []string {
-	seen := make(map[string]bool)
+	annotated := make(map[string]bool)
+	declared := make(map[string]bool)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				if fn, ok := decl.(*ast.FuncDecl); ok {
-					seen[pkg.ImportPath+"."+funcKey(fn)] = true
+					key := pkg.ImportPath + "." + funcKey(fn)
+					declared[key] = true
+					if funcHasDirective(fn, directiveHotpath) {
+						annotated[key] = true
+					}
 				}
 			}
 		}
 	}
-	var missing []string
+	var bad []string
 	for path, names := range hotKernels {
 		for _, name := range names {
-			if !seen[path+"."+name] {
-				missing = append(missing, path+"."+name)
+			key := path + "." + name
+			switch {
+			case !declared[key]:
+				bad = append(bad, key+" (no such function)")
+			case !annotated[key]:
+				bad = append(bad, key+" (missing //sov:hotpath annotation)")
 			}
 		}
 	}
-	return missing
+	return bad
 }
 
 func isHotFunc(pkg *Package, fn *ast.FuncDecl) bool {
@@ -151,20 +182,141 @@ func runHotAlloc(p *Pass) {
 			if !ok || fn.Body == nil || !isHotFunc(p.Pkg, fn) {
 				continue
 			}
-			checkHotFunc(p, fn)
+			scanAllocSites(p.Pkg, fn, func(pos token.Pos, kind allocKind, detail string) {
+				p.Reportf(pos, "%s", kind.message(fn.Name.Name, detail))
+			})
+			if p.Prog != nil {
+				checkHotCalls(p, fn)
+			}
 		}
 	}
 }
 
-// posRange is a half-open source span.
+// checkHotCalls is the v2 interprocedural rule: a hot function calling a
+// module-internal, non-hot callee whose bottom-up summary says it may
+// allocate is flagged at the call site with the witness chain.
+func checkHotCalls(p *Pass, fn *ast.FuncDecl) {
+	cold := coldSpans(p.Pkg.Info, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || cold.contains(call.Pos()) {
+			return true
+		}
+		callee := p.Prog.callee(p.Pkg, call)
+		if callee == nil || callee.Decl.Body == nil {
+			return true // dynamic or external: no summary, assumed benign
+		}
+		if isHotFunc(callee.Pkg, callee.Decl) {
+			return true // its own hotalloc pass reports its sites
+		}
+		if !callee.alloc.may {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"call to %s in hot path %s may allocate (%s); make the callee allocation-free, annotate it //sov:hotpath, or suppress with a reason",
+			callee.Name(), fn.Name.Name, callee.alloc.why)
+		return true
+	})
+}
+
+// allocKind classifies an allocation construct. The kind carries both the
+// full per-site message and the short label used in may-allocate witness
+// chains.
+type allocKind int
+
+const (
+	allocMake allocKind = iota
+	allocNew
+	allocAppend
+	allocClosure
+	allocPtrLit
+	allocSliceLit
+	allocMapLit
+	allocConcat
+	allocConv
+	allocBox
+	allocFmt
+)
+
+// message renders the per-site finding text (unchanged from v1 so existing
+// suppressions and goldens keep their meaning).
+func (k allocKind) message(fnName, detail string) string {
+	switch k {
+	case allocMake:
+		return "make in hot path " + fnName + " allocates; borrow from a pool or reuse a scratch buffer"
+	case allocNew:
+		return "new in hot path " + fnName + " allocates"
+	case allocAppend:
+		return "append onto unsized slice " + detail + " in hot path " + fnName + " reallocates as it grows; preallocate with capacity or reuse a buffer"
+	case allocClosure:
+		return "closure in hot path " + fnName + " allocates per call (captured variables escape)"
+	case allocPtrLit:
+		return "&composite literal in hot path " + fnName + " escapes to the heap"
+	case allocSliceLit:
+		return "slice literal in hot path " + fnName + " allocates its backing array"
+	case allocMapLit:
+		return "map literal in hot path " + fnName + " allocates"
+	case allocConcat:
+		return "string concatenation in hot path " + fnName + " allocates"
+	case allocConv:
+		return "string/[]byte conversion in hot path " + fnName + " copies the data"
+	case allocBox:
+		return "argument boxed into interface parameter in hot path " + fnName
+	case allocFmt:
+		return "fmt." + detail + " in hot path " + fnName + " allocates (formatting state, boxed arguments)"
+	}
+	return "allocation in hot path " + fnName
+}
+
+// label renders the short witness form for summary chains.
+func (k allocKind) label(detail string) string {
+	switch k {
+	case allocMake:
+		return "make"
+	case allocNew:
+		return "new"
+	case allocAppend:
+		return "append growth of " + detail
+	case allocClosure:
+		return "closure"
+	case allocPtrLit:
+		return "&composite literal"
+	case allocSliceLit:
+		return "slice literal"
+	case allocMapLit:
+		return "map literal"
+	case allocConcat:
+		return "string concatenation"
+	case allocConv:
+		return "string/[]byte conversion"
+	case allocBox:
+		return "interface boxing"
+	case allocFmt:
+		return "fmt." + detail
+	}
+	return "allocation"
+}
+
+// posRanges is a set of half-open source spans.
+type posRanges []posRange
+
 type posRange struct{ lo, hi token.Pos }
 
-func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
-	info := p.Pkg.Info
+func (rs posRanges) contains(pos token.Pos) bool {
+	for _, r := range rs {
+		if pos > r.lo && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
 
-	// Cold spans: panic arguments never run in steady state.
-	var cold []posRange
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+// coldSpans returns the argument spans of builtin panic calls: shape-check
+// error paths that never run in steady state, exempt from every hotalloc
+// rule.
+func coldSpans(info *types.Info, body *ast.BlockStmt) posRanges {
+	var cold posRanges
+	ast.Inspect(body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
 				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
@@ -174,14 +326,15 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
-	inCold := func(pos token.Pos) bool {
-		for _, r := range cold {
-			if pos > r.lo && pos < r.hi {
-				return true
-			}
-		}
-		return false
-	}
+	return cold
+}
+
+// scanAllocSites walks fn's body and emits every steady-state allocation
+// construct (panic arguments excluded) in source order. Used by the
+// per-site hot-path check and by the bottom-up may-allocate summaries.
+func scanAllocSites(pkg *Package, fn *ast.FuncDecl, emit func(pos token.Pos, kind allocKind, detail string)) {
+	info := pkg.Info
+	cold := coldSpans(info, fn.Body)
 
 	// Slice-sizing facts: which local slice variables are provably unsized
 	// at their most recent (lexical) definition. Values: true = unsized.
@@ -239,36 +392,36 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
 		return true
 	})
 
-	report := func(pos token.Pos, format string, args ...any) {
-		if !inCold(pos) {
-			p.Reportf(pos, format, args...)
+	report := func(pos token.Pos, kind allocKind, detail string) {
+		if !cold.contains(pos) {
+			emit(pos, kind, detail)
 		}
 	}
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.FuncLit:
-			report(e.Pos(), "closure in hot path %s allocates per call (captured variables escape)", fn.Name.Name)
+			report(e.Pos(), allocClosure, "")
 		case *ast.UnaryExpr:
 			if e.Op == token.AND {
 				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
-					report(e.Pos(), "&composite literal in hot path %s escapes to the heap", fn.Name.Name)
+					report(e.Pos(), allocPtrLit, "")
 				}
 			}
 		case *ast.CompositeLit:
 			if tv, ok := info.Types[e]; ok {
 				switch tv.Type.Underlying().(type) {
 				case *types.Slice:
-					report(e.Pos(), "slice literal in hot path %s allocates its backing array", fn.Name.Name)
+					report(e.Pos(), allocSliceLit, "")
 				case *types.Map:
-					report(e.Pos(), "map literal in hot path %s allocates", fn.Name.Name)
+					report(e.Pos(), allocMapLit, "")
 				}
 			}
 		case *ast.BinaryExpr:
 			if e.Op == token.ADD {
 				if tv, ok := info.Types[e]; ok && tv.Value == nil {
 					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						report(e.Pos(), "string concatenation in hot path %s allocates", fn.Name.Name)
+						report(e.Pos(), allocConcat, "")
 					}
 				}
 			}
@@ -276,12 +429,12 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
 			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 {
 				if tv, ok := info.Types[e.Lhs[0]]; ok {
 					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						report(e.Pos(), "string concatenation in hot path %s allocates", fn.Name.Name)
+						report(e.Pos(), allocConcat, "")
 					}
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(p, fn, e, info, sliceState, report)
+			scanAllocCall(e, info, sliceState, report)
 		}
 		return true
 	})
@@ -328,8 +481,8 @@ var allocFreeBuiltins = map[string]bool{
 	"print": true, "println": true, "panic": true, "recover": true,
 }
 
-func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Info,
-	sliceState map[*types.Var]bool, report func(token.Pos, string, ...any)) {
+func scanAllocCall(call *ast.CallExpr, info *types.Info,
+	sliceState map[*types.Var]bool, report func(token.Pos, allocKind, string)) {
 
 	// Builtins: make/new allocate; append onto an unsized local grows the
 	// backing array; the rest are free.
@@ -337,9 +490,9 @@ func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Inf
 		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
 			switch id.Name {
 			case "make":
-				report(call.Pos(), "make in hot path %s allocates; borrow from a pool or reuse a scratch buffer", fn.Name.Name)
+				report(call.Pos(), allocMake, "")
 			case "new":
-				report(call.Pos(), "new in hot path %s allocates", fn.Name.Name)
+				report(call.Pos(), allocNew, "")
 			case "append":
 				if len(call.Args) == 0 {
 					return
@@ -353,7 +506,7 @@ func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Inf
 					obj, _ = info.Defs[base].(*types.Var)
 				}
 				if obj != nil && sliceState[obj] {
-					report(call.Pos(), "append onto unsized slice %s in hot path %s reallocates as it grows; preallocate with capacity or reuse a buffer", base.Name, fn.Name.Name)
+					report(call.Pos(), allocAppend, base.Name)
 				}
 			}
 			return
@@ -366,12 +519,12 @@ func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Inf
 		if av, ok := info.Types[call.Args[0]]; ok {
 			from := av.Type.Underlying()
 			if isStringBytesConv(to, from) {
-				report(call.Pos(), "string/[]byte conversion in hot path %s copies the data", fn.Name.Name)
+				report(call.Pos(), allocConv, "")
 				return
 			}
 			if _, isIface := to.(*types.Interface); isIface {
 				if !isInterfaceOrNil(av) {
-					report(call.Pos(), "conversion to interface in hot path %s boxes the value", fn.Name.Name)
+					report(call.Pos(), allocBox, "")
 				}
 				return
 			}
@@ -382,7 +535,7 @@ func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Inf
 	// fmt is formatting + boxing + (for the S-family) a fresh string.
 	if obj := calleeObject(info, call); obj != nil {
 		if f, ok := obj.(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
-			report(call.Pos(), "fmt.%s in hot path %s allocates (formatting state, boxed arguments)", f.Name(), fn.Name.Name)
+			report(call.Pos(), allocFmt, f.Name())
 			return
 		}
 	}
@@ -413,7 +566,7 @@ func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Inf
 			continue
 		}
 		if av, ok := info.Types[arg]; ok && !isInterfaceOrNil(av) {
-			report(arg.Pos(), "argument boxed into interface parameter in hot path %s", fn.Name.Name)
+			report(arg.Pos(), allocBox, "")
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"path/filepath"
@@ -16,6 +18,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for -list output.
 	Doc string
+	// NeedsProgram marks interprocedural analyzers: before the package ×
+	// analyzer matrix fans out, the driver builds the whole-program call
+	// graph and bottom-up summaries (callgraph.go, summary.go) and hands
+	// them to every pass via Pass.Prog.
+	NeedsProgram bool
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -24,6 +31,9 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the shared whole-program view (non-nil when any analyzer in
+	// the run set has NeedsProgram). It is immutable during the fan-out.
+	Prog     *Program
 	findings []Finding
 }
 
@@ -54,8 +64,10 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetNow,
 		DetRand,
+		DetFlow,
 		MapRange,
 		HotAlloc,
+		PoolEscape,
 		GoHygiene,
 	}
 }
@@ -72,10 +84,24 @@ func analyzerNames(analyzers []*Analyzer) map[string]bool {
 // Run executes every analyzer over every package, fanning the matrix out
 // across internal/parallel (byte-identical findings for any worker count:
 // each job owns its result slot and the merge is a fixed-order reduction).
+// When any analyzer is interprocedural the whole-program call graph and
+// summaries are built serially first and shared read-only by every pass.
 // Suppressed findings are dropped; malformed //sovlint:ignore directives
-// are reported as findings of the "sovlint" pseudo-analyzer. The result is
-// sorted by position, then analyzer, then message.
+// and directives that suppressed nothing (stale suppressions) are reported
+// as findings of the "sovlint" pseudo-analyzer. The result is sorted by
+// position, then analyzer, then message.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := analyzerNames(analyzers)
+	dirs := parseDirectiveIndex(pkgs, known)
+
+	var prog *Program
+	for _, an := range analyzers {
+		if an.NeedsProgram {
+			prog = BuildProgram(pkgs, dirs)
+			break
+		}
+	}
+
 	type job struct {
 		pkg *Package
 		an  *Analyzer
@@ -89,19 +115,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	results := make([][]Finding, len(jobs))
 	parallel.For(len(jobs), 1, func(start, end int) {
 		for i := start; i < end; i++ {
-			pass := &Pass{Analyzer: jobs[i].an, Pkg: jobs[i].pkg}
+			pass := &Pass{Analyzer: jobs[i].an, Pkg: jobs[i].pkg, Prog: prog}
 			pass.Analyzer.Run(pass)
 			results[i] = pass.findings
 		}
 	})
 
-	known := analyzerNames(analyzers)
 	var out []Finding
 	for _, pkg := range pkgs {
-		directives := make(map[string]*fileDirectives, len(pkg.Files))
 		for _, f := range pkg.Files {
-			fd := parseFileDirectives(pkg.Fset, f, known)
-			directives[pkg.Fset.Position(f.Pos()).Filename] = fd
+			fd := dirs.byFile[pkg.Fset.Position(f.Pos()).Filename]
 			for _, m := range fd.malformed {
 				out = append(out, Finding{
 					Pos:      pkg.Fset.Position(m.pos),
@@ -115,12 +138,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				continue
 			}
 			for _, f := range results[i] {
-				if fd := directives[f.Pos.Filename]; fd.suppressed(f.Analyzer, f.Pos.Line) {
+				if dirs.suppress(f.Analyzer, f.Pos.Filename, f.Pos.Line) {
 					continue
 				}
 				out = append(out, f)
 			}
 		}
+	}
+	if len(pkgs) > 0 {
+		out = append(out, dirs.stale(known, pkgs[0].Fset)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -146,11 +172,52 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 func Format(findings []Finding, baseDir string) []string {
 	out := make([]string, len(findings))
 	for i, f := range findings {
-		g := f
-		if rel, err := filepath.Rel(baseDir, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
-			g.Pos.Filename = filepath.ToSlash(rel)
-		}
+		g := relativize(f, baseDir)
 		out[i] = g.String()
 	}
 	return out
+}
+
+func relativize(f Finding, baseDir string) Finding {
+	if rel, err := filepath.Rel(baseDir, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		f.Pos.Filename = filepath.ToSlash(rel)
+	}
+	return f
+}
+
+// jsonFinding fixes the field order of the machine-readable output; the
+// struct declaration order IS the wire order, so CI can diff two runs
+// byte-for-byte.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// FormatJSON renders findings as a JSON array (one object per finding,
+// stable field order, findings in the driver's sorted order, trailing
+// newline). Paths are relativized against baseDir like Format. The output
+// is byte-identical for any worker count — the same contract as the text
+// form — so CI and tooling can diff findings without parsing text.
+func FormatJSON(findings []Finding, baseDir string) ([]byte, error) {
+	arr := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		g := relativize(f, baseDir)
+		arr[i] = jsonFinding{
+			File:     g.Pos.Filename,
+			Line:     g.Pos.Line,
+			Col:      g.Pos.Column,
+			Analyzer: g.Analyzer,
+			Message:  g.Message,
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(arr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -23,6 +24,9 @@ var goldenCases = []struct {
 	{"detrand", []*Analyzer{DetRand}},
 	{"maprange", []*Analyzer{MapRange}},
 	{"hotalloc", []*Analyzer{HotAlloc}},
+	{"hotcalls", []*Analyzer{HotAlloc}},
+	{"poolescape", []*Analyzer{PoolEscape}},
+	{"detflow", []*Analyzer{DetFlow}},
 	{"gohygiene", []*Analyzer{GoHygiene}},
 	{"suppress", []*Analyzer{DetNow}},
 }
@@ -89,15 +93,19 @@ func TestGolden(t *testing.T) {
 
 // TestSuppression pins the directive semantics beyond the golden file: the
 // two well-formed directives in the suppress fixture must remove exactly
-// their findings, and both malformed directives must surface as [sovlint]
-// findings.
+// their findings, the two malformed directives must surface as [sovlint]
+// findings, and the stale directive (nothing to suppress for an analyzer
+// that ran) must surface too.
 func TestSuppression(t *testing.T) {
 	lines := fixtureFindings(t, "suppress", []*Analyzer{DetNow})
-	var malformed, detnow int
+	var meta, detnow, stale int
 	for _, l := range lines {
 		switch {
 		case strings.Contains(l, "[sovlint]"):
-			malformed++
+			meta++
+			if strings.Contains(l, "suppresses nothing here") {
+				stale++
+			}
 		case strings.Contains(l, "[detnow]"):
 			detnow++
 		}
@@ -105,8 +113,11 @@ func TestSuppression(t *testing.T) {
 			t.Errorf("finding on a suppressed line leaked through: %s", l)
 		}
 	}
-	if malformed != 2 {
-		t.Errorf("malformed directive findings = %d, want 2\n%s", malformed, strings.Join(lines, "\n"))
+	if meta != 3 {
+		t.Errorf("[sovlint] directive findings = %d, want 3 (2 malformed + 1 stale)\n%s", meta, strings.Join(lines, "\n"))
+	}
+	if stale != 1 {
+		t.Errorf("stale directive findings = %d, want 1\n%s", stale, strings.Join(lines, "\n"))
 	}
 	if detnow != 3 {
 		t.Errorf("unsuppressed detnow findings = %d, want 3\n%s", detnow, strings.Join(lines, "\n"))
@@ -131,5 +142,50 @@ func TestFindingsDeterministic(t *testing.T) {
 	parallel.SetWorkers(prev)
 	if serial != wide {
 		t.Errorf("findings differ between 1 and 8 workers\n--- 1 ---\n%s\n--- 8 ---\n%s", serial, wide)
+	}
+}
+
+// TestFormatJSON pins the machine-readable output: valid JSON, stable
+// field order, findings in driver order, and byte-identical bytes for any
+// worker count (the same contract as the text form).
+func TestFormatJSON(t *testing.T) {
+	_, pkg := loadFixture(t, "detflow")
+	render := func() []byte {
+		findings := Run([]*Package{pkg}, []*Analyzer{DetFlow})
+		if len(findings) == 0 {
+			t.Fatal("detflow fixture produced no findings")
+		}
+		b, err := FormatJSON(findings, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	prev := parallel.SetWorkers(1)
+	serial := render()
+	parallel.SetWorkers(8)
+	wide := render()
+	parallel.SetWorkers(prev)
+	if string(serial) != string(wide) {
+		t.Errorf("JSON output differs between 1 and 8 workers\n--- 1 ---\n%s\n--- 8 ---\n%s", serial, wide)
+	}
+
+	var arr []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(serial, &arr); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	for _, f := range arr {
+		if f.File == "" || f.Line == 0 || f.Analyzer != "detflow" || f.Message == "" {
+			t.Errorf("incomplete finding object: %+v", f)
+		}
+	}
+	if empty, err := FormatJSON(nil, ""); err != nil || strings.TrimSpace(string(empty)) != "[]" {
+		t.Errorf("empty findings must render as []: %q, %v", empty, err)
 	}
 }

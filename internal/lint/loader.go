@@ -57,15 +57,39 @@ type Loader struct {
 	fset *token.FileSet
 
 	mu   sync.Mutex
-	std  types.ImporterFrom
 	pkgs map[string]*Package // by import path
 	// loading guards against import cycles (impossible in valid Go, but a
 	// clear error beats a stack overflow on a broken tree).
 	loading map[string]bool
 }
 
+// The stdlib is type-checked from GOROOT source exactly once per process
+// and shared by every Loader. A source-importer owns an internal package
+// cache keyed by import path, so sharing one instance (and the FileSet its
+// positions live in) means the second and every later Loader — each golden
+// fixture constructs its own — resolves `time`, `sync`, `fmt` & co. from
+// cache instead of re-parsing and re-checking tens of thousands of stdlib
+// lines. BenchmarkLintRepo pins the win. The importer is not safe for
+// concurrent use, so stdMu serializes cross-loader access.
+var (
+	sharedFset = token.NewFileSet()
+	stdMu      sync.Mutex
+	stdOnce    sync.Once
+	stdImp     types.ImporterFrom
+)
+
+func stdImport(path string) (*types.Package, error) {
+	stdOnce.Do(func() {
+		stdImp = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	})
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	return stdImp.Import(path)
+}
+
 // NewLoader returns a loader for the module rooted at modRoot (the
-// directory containing go.mod).
+// directory containing go.mod). All loaders share one FileSet and one
+// GOROOT source importer, so the stdlib is type-checked once per process.
 func NewLoader(modRoot string) (*Loader, error) {
 	modRoot, err := filepath.Abs(modRoot)
 	if err != nil {
@@ -75,12 +99,10 @@ func NewLoader(modRoot string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	return &Loader{
 		ModRoot: modRoot,
 		ModPath: modPath,
-		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		fset:    sharedFset,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
 	}, nil
@@ -303,7 +325,7 @@ func (l *Loader) importLocked(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	return l.std.Import(path)
+	return stdImport(path)
 }
 
 // importerFunc adapts a function to types.Importer.

@@ -1,0 +1,141 @@
+package lint
+
+import "go/token"
+
+// Bottom-up per-function summaries (DESIGN.md §12). Each ProgFunc carries
+// three facts, inferred callee-before-caller over the SCC order that
+// Program.sccs returns:
+//
+//   - allocFact: the function may allocate in steady state — an intrinsic
+//     allocation site (hotalloc's per-site scanner, minus //sovlint:ignore-
+//     sanctioned sites) or a call to a may-allocate module function. The
+//     `why` string is a witness chain down to the construct.
+//   - taintFact: how host-class values (wall clock, CPU counts, env) move
+//     through the function — returned, parameter-to-return, or parameter-
+//     to-sink (detflow.go owns the walker).
+//   - poolFact: how pooled buffers move — returned to the caller still
+//     borrowed, released via a parameter, or escaped via a parameter
+//     (poolescape.go owns the walker).
+//
+// Facts are monotone (bits and booleans only ever turn on within the
+// fixed-point loop of one SCC), so iterating each component until nothing
+// changes terminates. Everything is deterministic: function order, callee
+// order, and SCC order are all derived from the sorted package/file/decl
+// order, so the summaries — and every finding derived from them — are
+// byte-identical for any worker count.
+
+type allocFact struct {
+	// may reports that a call can allocate in steady state.
+	may bool
+	// why is the witness chain, e.g. "packACol → make at gemm.go:108".
+	why string
+}
+
+type taintFact struct {
+	// returnsHost: some return value derives from a host-class source.
+	returnsHost bool
+	// hostNote names the origin, e.g. "time.Now at runtime.go:92".
+	hostNote string
+	// paramReturn bit i: parameter i's value can flow to a return value.
+	// For methods the receiver is parameter 0 and formals follow.
+	paramReturn uint64
+	// paramSink bit i: parameter i's value can reach a virtual-class sink
+	// inside this function (directly or transitively).
+	paramSink uint64
+	// sinkNote names the sink reached by tainted parameters.
+	sinkNote string
+}
+
+type poolFact struct {
+	// returnsPooled: a return value is a still-borrowed pooled buffer (the
+	// legal ownership-transfer idiom: "caller must release").
+	returnsPooled bool
+	// poolNote names the pool origin, e.g. "parallel.GetC128".
+	poolNote string
+	// putsParam bit i: the function releases parameter i back to its pool.
+	putsParam uint64
+	// escapesParam bit i: the function stores parameter i somewhere that
+	// outlives the call (field, global, channel, spawned goroutine).
+	escapesParam uint64
+	// escapeNote describes where escaping parameters end up.
+	escapeNote string
+}
+
+// computeSummaries fills in the per-function facts bottom-up. It runs once,
+// serially, inside BuildProgram — before the analyzer matrix fans out — so
+// every pass sees the same finished summaries.
+func computeSummaries(p *Program) {
+	computeAllocFacts(p)
+	for _, scc := range p.sccs() {
+		for changed := true; changed; {
+			changed = false
+			for _, pf := range scc {
+				if pf.Decl.Body == nil {
+					continue
+				}
+				// Compare only the monotone bits, not the witness strings:
+				// in a recursive SCC a note that embeds a callee's note
+				// would otherwise grow on every iteration and never settle.
+				if tf := taintWalk(p, pf, nil); !taintEq(tf, pf.taint) {
+					pf.taint = tf
+					changed = true
+				}
+				if pl := poolWalk(p, pf, nil); !poolEq(pl, pf.pool) {
+					pf.pool = pl
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func taintEq(a, b taintFact) bool {
+	return a.returnsHost == b.returnsHost &&
+		a.paramReturn == b.paramReturn &&
+		a.paramSink == b.paramSink
+}
+
+func poolEq(a, b poolFact) bool {
+	return a.returnsPooled == b.returnsPooled &&
+		a.putsParam == b.putsParam &&
+		a.escapesParam == b.escapesParam
+}
+
+// computeAllocFacts seeds each function's may-allocate fact from its own
+// allocation sites, then propagates callee facts up the call graph.
+// Sites covered by a //sovlint:ignore hotalloc directive are sanctioned:
+// they do not poison the summary, and the directive counts as used (so it
+// is not reported stale).
+func computeAllocFacts(p *Program) {
+	for _, pf := range p.funcs {
+		if pf.Decl.Body == nil {
+			continue
+		}
+		scanAllocSites(pf.Pkg, pf.Decl, func(pos token.Pos, kind allocKind, detail string) {
+			position := pf.Pkg.Fset.Position(pos)
+			if p.dirs.suppress(HotAlloc.Name, position.Filename, position.Line) {
+				return
+			}
+			if !pf.alloc.may {
+				pf.alloc = allocFact{may: true, why: kind.label(detail) + " at " + posLabel(pf.Pkg, pos)}
+			}
+		})
+	}
+	for _, scc := range p.sccs() {
+		for changed := true; changed; {
+			changed = false
+			for _, pf := range scc {
+				if pf.alloc.may {
+					continue
+				}
+				for _, c := range pf.Callees {
+					if c != pf && c.alloc.may {
+						pf.alloc = allocFact{may: true, why: c.Name() + " → " + c.alloc.why}
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package detflow is the fixture for host→virtual taint flow: host-class
+// reads (clock, CPU counts, env, pid) laundered through expressions,
+// locals, helpers, and struct fields on their way into an RNG seed — plus
+// the clean config-derived seeding that must stay silent.
+package detflow
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// direct seeds straight from the clock in a single expression.
+func direct() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want: time.Now reaches NewSource
+}
+
+// throughLocal launders the clock through locals and arithmetic.
+func throughLocal() *rand.Rand {
+	t := time.Now()
+	n := t.UnixNano()
+	mixed := n ^ 0x9e3779b9
+	return rand.New(rand.NewSource(mixed)) // want: laundering through locals
+}
+
+// mix is a pure helper: its paramReturn summary carries taint through.
+func mix(a, b int64) int64 {
+	return a*31 + b
+}
+
+// throughHelper launders a CPU count through the helper.
+func throughHelper() *rand.Rand {
+	seed := mix(int64(runtime.NumCPU()), 7)
+	return rand.New(rand.NewSource(seed)) // want: laundering through mix
+}
+
+type cfg struct {
+	seed int64
+}
+
+// throughField launders GOMAXPROCS through a struct field (field-coarse
+// tracking taints the whole struct).
+func throughField() *rand.Rand {
+	var c cfg
+	c.seed = int64(runtime.GOMAXPROCS(0))
+	return rand.New(rand.NewSource(c.seed)) // want: laundering through a field
+}
+
+// seedFrom reaches the sink with its parameter; the paramSink summary
+// moves the finding to callers that pass host values.
+func seedFrom(n int64) *rand.Rand {
+	return rand.New(rand.NewSource(n))
+}
+
+// viaSinkHelper hands the pid to a helper that seeds with it.
+func viaSinkHelper() *rand.Rand {
+	return seedFrom(int64(os.Getpid())) // want: paramSink via seedFrom
+}
+
+// fromConfig is the clean path: the seed is data, not host state.
+func fromConfig(c cfg) *rand.Rand {
+	return seedFrom(c.seed)
+}

@@ -1,0 +1,66 @@
+// Package hotcalls is the fixture for hotalloc's interprocedural side:
+// hot kernels reaching allocations through callees, where the per-site
+// scanner sees nothing. Summaries are inferred bottom-up, so the witness
+// chains name the path down to the construct.
+package hotcalls
+
+// grow allocates on demand; it is not hot, so its own site is silent.
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// chain reaches grow's allocation one more level down.
+func chain(s []int, n int) []int {
+	return grow(s, n)
+}
+
+// spawn allocates a closure on every call.
+func spawn(fns []func()) []func() {
+	return append(fns, func() {})
+}
+
+// hotDirect calls an allocating helper from a hot path.
+//
+//sov:hotpath
+func hotDirect(s []int, n int) []int {
+	return grow(s, n) // want: grow may allocate
+}
+
+// hotChain reaches the allocation through two levels of calls.
+//
+//sov:hotpath
+func hotChain(s []int, n int) []int {
+	return chain(s, n) // want: chain → grow → make
+}
+
+// hotClosure reaches a closure allocation through a helper.
+//
+//sov:hotpath
+func hotClosure(fns []func()) []func() {
+	return spawn(fns) // want: spawn → closure
+}
+
+// sanctioned's allocation carries a reasoned suppression, so its summary
+// stays allocation-free.
+func sanctioned(n int) []int {
+	//sovlint:ignore hotalloc amortized one-time growth, sanctioned for the fixture
+	return make([]int, n)
+}
+
+// hotSanctioned is clean: the suppressed site does not poison the summary.
+//
+//sov:hotpath
+func hotSanctioned(n int) []int {
+	return sanctioned(n)
+}
+
+// hotCallsHot is clean at the call site: hotDirect is itself hot, so its
+// body reports its own violations instead of every caller repeating them.
+//
+//sov:hotpath
+func hotCallsHot(s []int, n int) []int {
+	return hotDirect(s, n)
+}

@@ -1,0 +1,111 @@
+// Package poolescape is the fixture for the pool-ownership analyzer: every
+// way a borrowed buffer can grow a second owner, next to the disciplined
+// idioms that must stay silent.
+package poolescape
+
+import "sov/internal/parallel"
+
+type holder struct {
+	stash []float64
+}
+
+var global []float64
+
+// fieldStore parks a borrowed buffer in state reachable from a parameter —
+// the exact aliasing bug the fleet arena work hit.
+func fieldStore(h *holder, n int) {
+	buf := parallel.GetF64(n)
+	h.stash = buf // want: stored into field h.stash
+	parallel.PutF64(buf)
+}
+
+// globalStore parks the borrow in a package-level variable.
+func globalStore(n int) {
+	buf := parallel.GetF64(n)
+	global = buf // want: stored into package-level var
+	parallel.PutF64(buf)
+}
+
+// chanSend hands the borrow to another goroutine over a channel.
+func chanSend(ch chan []float64, n int) {
+	buf := parallel.GetF64(n)
+	ch <- buf // want: sent on a channel
+}
+
+// goCapture leaks the borrow into a spawned goroutine's closure.
+func goCapture(n int) {
+	buf := parallel.GetF64(n)
+	go func() { buf[0] = 1 }() // want: captured by a spawned goroutine
+	parallel.PutF64(buf)
+}
+
+// useAfterPut touches the buffer after surrendering it.
+func useAfterPut(n int) float64 {
+	buf := parallel.GetF64(n)
+	parallel.PutF64(buf)
+	return buf[0] // want: used after release
+}
+
+// doublePut releases the same borrow twice.
+func doublePut(n int) {
+	buf := parallel.GetF64(n)
+	parallel.PutF64(buf)
+	parallel.PutF64(buf) // want: released twice
+}
+
+// returnPastDefer returns a buffer its own deferred Put already released.
+func returnPastDefer(n int) []float64 {
+	buf := parallel.GetF64(n)
+	defer parallel.PutF64(buf)
+	return buf // want: returned past deferred release
+}
+
+// park stores its parameter in escaping state; no finding here (the
+// argument is the caller's problem), but the escapesParam summary is.
+func park(h *holder, b []float64) {
+	h.stash = b
+}
+
+// escapeViaCallee hands the borrow to a summarized module function that
+// stores it — the interprocedural escape.
+func escapeViaCallee(h *holder, n int) {
+	buf := parallel.GetF64(n)
+	park(h, buf) // want: passed to park, which stores it
+	parallel.PutF64(buf)
+}
+
+// rent transfers ownership out to the caller — the legal "caller must
+// release" idiom, recorded as a returnsPooled summary, not a finding.
+func rent(n int) []float64 {
+	return parallel.GetF64(n)
+}
+
+// disciplined is the clean life cycle: borrow through a helper, fan out
+// with parallel.For (its closures run before For returns), release once.
+func disciplined(n int) float64 {
+	buf := rent(n)
+	parallel.For(len(buf), 64, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			buf[i] = 1
+		}
+	})
+	s := 0.0
+	for _, v := range buf {
+		s += v
+	}
+	parallel.PutF64(buf)
+	return s
+}
+
+// conditionalRelease releases early on one branch only; the success path
+// below must not be poisoned by that block-scoped Put.
+func conditionalRelease(n int, bad bool) float64 {
+	buf := parallel.GetF64(n)
+	if bad {
+		parallel.PutF64(buf)
+		return 0
+	}
+	v := buf[0]
+	parallel.PutF64(buf)
+	return v
+}

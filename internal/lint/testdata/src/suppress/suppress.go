@@ -1,7 +1,8 @@
 // Package suppress is the fixture for the //sovlint:ignore machinery:
 // well-formed directives (comment-above and trailing styles) suppress
 // findings on their line and the next; malformed directives — missing
-// reason, unknown analyzer — are themselves findings and suppress nothing.
+// reason, unknown analyzer — are themselves findings and suppress nothing;
+// a directive that suppresses nothing for an analyzer that ran is stale.
 package suppress
 
 import "time"
@@ -17,5 +18,6 @@ func cycle() time.Duration {
 	//sovlint:ignore nosuchanalyzer a typo must not silently disable enforcement
 	_ = time.Now()     // want: unknown analyzer name, so it suppresses nothing
 	_ = time.Since(t0) // want: no directive at all
-	return d
+	//sovlint:ignore detnow the read below was deleted two refactors ago
+	return d // want: the directive above is stale — nothing fires here
 }

@@ -15,8 +15,9 @@ package nn
 // (release with PutQTensor) unless the stack is empty, in which case the
 // inputs come back unchanged. dst is reused as the batch slot array
 // (pass the previous cycle's slice to avoid growing it).
+//
+//sov:hotpath
 func (n *QNetwork) ForwardBatchPooled(dst []*QTensor, ins []*QTensor) []*QTensor {
-	//sovlint:ignore hotalloc append growth settles once dst holds a batch; warm cycles reuse its capacity
 	dst = append(dst[:0], ins...)
 	for _, l := range n.Layers {
 		for i, cur := range dst {
@@ -37,12 +38,13 @@ func (n *QNetwork) ForwardBatchPooled(dst []*QTensor, ins []*QTensor) []*QTensor
 // int8 grid tensor per image (pooled — release each with PutQTensor). dst
 // is reused as the batch slot array. Outputs are byte-identical to calling
 // ForwardRaw per image.
+//
+//sov:hotpath
 func (y *QYOLOHead) ForwardRawBatch(dst []*QTensor, ins []*Tensor) []*QTensor {
 	dst = dst[:0]
 	for _, in := range ins {
 		qin := GetQTensor(in.C, in.H, in.W, y.Backbone.InParams)
 		QuantizeTensorInto(qin, in)
-		//sovlint:ignore hotalloc append growth settles once dst holds a batch; warm cycles reuse its capacity
 		dst = append(dst, qin)
 	}
 	for _, l := range y.Backbone.Layers {

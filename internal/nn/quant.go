@@ -118,6 +118,7 @@ func GetQTensor(c, h, w int, p QuantParams) *QTensor {
 	}
 	qtensorHeaders.mu.Unlock()
 	if t == nil {
+		//sovlint:ignore hotalloc header-pool miss; headers are recycled via PutQTensor after warmup
 		t = &QTensor{}
 	}
 	t.C, t.H, t.W = c, h, w

@@ -199,6 +199,7 @@ func (f *FlightRecorder) dumpLocked(tr Trigger, tMs float64) {
 	if n > depth {
 		n = depth
 	}
+	//sovlint:ignore hotalloc trigger-dump path; runs once per incident, not per cycle
 	records := make([]CycleRecord, 0, n)
 	start := f.total - n
 	for i := int64(0); i < n; i++ {
@@ -212,6 +213,7 @@ func (f *FlightRecorder) dumpLocked(tr Trigger, tMs float64) {
 		Recorded: f.total,
 		Records:  records,
 	}
+	//sovlint:ignore hotalloc trigger-dump path; one JSON encode per incident, not per cycle
 	b, err := json.Marshal(d)
 	if err != nil {
 		if f.err == nil {

@@ -159,6 +159,7 @@ func (p *SlicePool[T]) Get(n int) []T {
 	}
 	p.misses++
 	p.mu.Unlock()
+	//sovlint:ignore hotalloc pool-miss slow path; amortized away once the size class is warm
 	return make([]T, n, 1<<c)
 }
 
@@ -197,6 +198,7 @@ func GetI32(n int) []int32 {
 	if v := i32pool.classes[c].Get(); v != nil {
 		return (*(v.(*[]int32)))[:n]
 	}
+	//sovlint:ignore hotalloc pool-miss slow path; amortized away once the size class is warm
 	return make([]int32, n, 1<<c)
 }
 
@@ -210,6 +212,7 @@ func PutI32(s []int32) {
 		c--
 	}
 	full := s[:cap(s)]
+	//sovlint:ignore hotalloc sync.Pool boxing of the slice header; bytes are recycled, header churn is accepted
 	i32pool.classes[c].Put(&full)
 }
 
@@ -227,6 +230,7 @@ func GetU64(n int) []uint64 {
 	if v := u64pool.classes[c].Get(); v != nil {
 		return (*(v.(*[]uint64)))[:n]
 	}
+	//sovlint:ignore hotalloc pool-miss slow path; amortized away once the size class is warm
 	return make([]uint64, n, 1<<c)
 }
 
@@ -240,6 +244,7 @@ func PutU64(s []uint64) {
 		c--
 	}
 	full := s[:cap(s)]
+	//sovlint:ignore hotalloc sync.Pool boxing of the slice header; bytes are recycled, header churn is accepted
 	u64pool.classes[c].Put(&full)
 }
 

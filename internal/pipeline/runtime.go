@@ -156,6 +156,8 @@ func (r *Runtime[T]) Stop() {
 }
 
 // Stats returns the per-stage wall-clock profile.
+//
+//sovlint:wallclock per-stage busy/wait figures are host-class diagnostics
 func (r *Runtime[T]) Stats() []StageStats {
 	out := make([]StageStats, len(r.stages))
 	for i := range r.stages {

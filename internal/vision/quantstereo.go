@@ -214,7 +214,6 @@ func SupportPointsQuantInto(dst []SupportPoint, left, right *QImage, maxDisp, ha
 			y := half + r*stride
 			for x := half; x < left.W-half; x += stride {
 				if d := matchPixelQ(left, right, x, y, 0, maxDisp, half, costs); d >= 0 {
-					//sovlint:ignore hotalloc append growth settles after the first frames; warm frames reuse dst's capacity
 					dst = append(dst, SupportPoint{X: x, Y: y, D: d})
 				}
 			}

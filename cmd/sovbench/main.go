@@ -33,10 +33,11 @@ func main() {
 	duration := flag.Duration("duration", 120*time.Second, "SoV characterization run length")
 	seed := flag.Int64("seed", 1, "seed")
 	points := flag.Int("points", 4000, "points per synthetic LiDAR scan")
-	only := flag.String("only", "", "run a single experiment: fig2|fig3a|fig3b|table1|table2|fig4a|fig4b|fig6|fig8|fig9|fig10|fig11a|fig11b|fig12|reactive|fusion|extensions|csv")
+	only := flag.String("only", "", "run a single experiment: fig2|fig3a|fig3b|table1|table2|fig4a|fig4b|fig6|fig8|fig9|fig10|fig11a|fig11b|fig12|reactive|fusion|extensions|sched|sched-json|csv")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
 	pipelined := flag.Bool("pipeline", false, "run SoV control loops as overlapped pipeline stages (output is identical)")
 	quant := flag.Bool("quant", false, "back perception with the int8 fixed-point kernels (DESIGN.md \u00a78)")
+	sched := flag.Bool("sched", false, "attach the online heterogeneous scheduler to SoV runs (DESIGN.md \u00a713)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	metricsPath := flag.String("metrics", "", "attach a metrics registry to the characterization cruise and write its exposition here (.json for JSON, else Prometheus text)")
@@ -46,6 +47,7 @@ func main() {
 	parallel.SetWorkers(*workers)
 	core.SetPipelineDefault(*pipelined)
 	core.SetQuantDefault(*quant)
+	core.SetSchedDefault(*sched)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -129,6 +131,10 @@ func main() {
 		fmt.Print(experiments.FusionStudy())
 	case "extensions":
 		fmt.Print(experiments.Extensions())
+	case "sched":
+		fmt.Print(experiments.SchedDynamic(*seed))
+	case "sched-json":
+		fmt.Print(experiments.SchedBenchJSON(*seed))
 	default:
 		fmt.Printf("unknown experiment %q\n", *only)
 	}

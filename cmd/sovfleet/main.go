@@ -7,9 +7,9 @@
 // Usage:
 //
 //	sovfleet [-vehicles 1000] [-regions 8] [-duration 10m] [-epoch 1s]
-//	         [-seed 1] [-workers N] [-demand 120] [-quant] [-pipeline]
-//	         [-perception 0] [-trace fleet.jsonl] [-metrics fleet.prom]
-//	         [-hist]
+//	         [-seed 1] [-workers N] [-demand 120] [-quant] [-sched]
+//	         [-pipeline] [-perception 0] [-trace fleet.jsonl]
+//	         [-metrics fleet.prom] [-hist]
 package main
 
 import (
@@ -37,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count (output is identical for any value)")
 	demand := flag.Float64("demand", 120, "mean rider arrivals per region-hour")
 	quant := flag.Bool("quant", false, "back per-vehicle perception with the int8 kernels")
+	sched := flag.Bool("sched", false, "attach the online heterogeneous scheduler to every vehicle")
 	pipelined := flag.Bool("pipeline", false, "run each vehicle's control loop as pipeline stages")
 	perception := flag.Int("perception", 0, "run the batched cross-vehicle quantized detector every k epochs (0 = off)")
 	tracePath := flag.String("trace", "", "write the per-epoch JSONL fleet trace here (- for stdout)")
@@ -47,6 +48,7 @@ func main() {
 	parallel.SetWorkers(*workers)
 	core.SetPipelineDefault(*pipelined)
 	core.SetQuantDefault(*quant)
+	core.SetSchedDefault(*sched)
 
 	cfg := fleet.DefaultConfig()
 	cfg.Vehicles = *vehicles

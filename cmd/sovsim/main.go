@@ -5,7 +5,9 @@
 //
 //	sovsim [-duration 120s] [-seed 1] [-no-fpga] [-no-sync] [-no-reactive]
 //	       [-no-radar-tracking] [-em-planner] [-workers N] [-pipeline]
-//	       [-trace t.jsonl] [-metrics m.prom] [-spans s.json] [-blackbox b.jsonl]
+//	       [-sched] [-sched-mapping GPU/FPGA] [-sched-static] [-cameras N]
+//	       [-ambient 25] [-trace t.jsonl] [-metrics m.prom] [-spans s.json]
+//	       [-blackbox b.jsonl]
 package main
 
 import (
@@ -39,12 +41,22 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for parallel kernels (output is identical for any value)")
 	pipelined := flag.Bool("pipeline", false, "run the control loop as overlapped pipeline stages (output is identical)")
 	quant := flag.Bool("quant", false, "back perception with the int8 fixed-point kernels (DESIGN.md §8)")
+	sched := flag.Bool("sched", false, "attach the online heterogeneous scheduler (DESIGN.md §13)")
+	schedMapping := flag.String("sched-mapping", "", "scheduler initial SU/Loc mapping, e.g. GPU/FPGA")
+	schedStatic := flag.Bool("sched-static", false, "pin the scheduler to its initial mapping (baseline)")
+	cameras := flag.Int("cameras", 1, "cameras feeding scene understanding per cycle")
+	ambient := flag.Float64("ambient", 25, "enclosure ambient temperature (C) for the scheduler's thermal model")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	core.SetSchedDefault(*sched)
 
 	cfg := core.DefaultConfig()
 	cfg.Pipeline = *pipelined
 	cfg.Quant = *quant
+	cfg.SchedMapping = *schedMapping
+	cfg.SchedStatic = *schedStatic
+	cfg.Cameras = *cameras
+	cfg.AmbientC = *ambient
 	cfg.Seed = *seed
 	if *shuttle {
 		cfg.Vehicle = vehicle.ShuttleParams()

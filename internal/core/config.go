@@ -74,6 +74,35 @@ type Config struct {
 	// the software counterpart of moving those tasks onto the FPGA's
 	// fixed-point dataflow (DESIGN.md §8).
 	Quant bool
+	// Sched attaches the online heterogeneous scheduler (internal/sched):
+	// runtime task remapping, quant↔float operating-point switching under
+	// thermal/SoC pressure, contention-aware co-location, and multi-camera
+	// batching, all from observed virtual-time latencies (DESIGN.md §13).
+	// It supersedes the FPGAOffload ablation — contention comes from the
+	// chosen mapping instead.
+	Sched bool
+	// SchedMapping overrides the scheduler's initial "SU/Loc" mapping
+	// (default GPU/FPGA, the deployed design).
+	SchedMapping string
+	// SchedStatic pins the scheduler to its initial mapping with all online
+	// decisions disabled — the static baselines of the Fig. 6/8 dynamic
+	// regeneration.
+	SchedStatic bool
+	// Cameras is the number of cameras feeding scene-understanding
+	// inference per cycle (default 1). Without the scheduler the extra
+	// inferences run sequentially; the scheduler batches them when scene
+	// understanding sits on a batching-capable processor.
+	Cameras int
+	// AmbientC is the enclosure ambient temperature for the scheduler's
+	// thermal model (default 25).
+	AmbientC float64
+	// InitialSoC overrides the battery's starting state of charge when
+	// positive (scheduler battery-pressure studies).
+	InitialSoC float64
+	// DynamicKeyframe forces a localization keyframe whenever the scene
+	// complexity reaches 0.6 — dynamic traffic extracts fresh features
+	// nearly every frame, which is what shifts the RPR swap economics.
+	DynamicKeyframe bool
 
 	// LeanReport keeps the report's latency statistics as streaming
 	// Welford accumulators instead of raw samples. A single vehicle's
@@ -126,11 +155,23 @@ var quantDefault = os.Getenv("SOV_QUANT") == "1"
 // the quantized perception path.
 func SetQuantDefault(on bool) { quantDefault = on }
 
+// schedDefault mirrors pipelineDefault for Config.Sched: the -sched flags
+// on sovsim/sovbench/sovfleet seed it so helpers that build DefaultConfig
+// internally (the experiment suite) attach the scheduler too.
+var schedDefault bool
+
+// SetSchedDefault makes subsequent DefaultConfig calls attach (or not) the
+// online heterogeneous scheduler.
+func SetSchedDefault(on bool) { schedDefault = on }
+
 // DefaultConfig returns the deployed configuration.
 func DefaultConfig() Config {
 	return Config{
 		Pipeline:        pipelineDefault,
 		Quant:           quantDefault,
+		Sched:           schedDefault,
+		Cameras:         1,
+		AmbientC:        25,
 		Seed:            1,
 		Vehicle:         vehicle.DefaultParams(),
 		TargetSpeed:     5.6,

@@ -12,6 +12,7 @@ import (
 	"sov/internal/pipeline"
 	"sov/internal/planning"
 	"sov/internal/rpr"
+	"sov/internal/sched"
 	"sov/internal/sensors"
 	"sov/internal/track"
 	"sov/internal/vehicle"
@@ -59,8 +60,13 @@ type cycleFrame struct {
 	tdata          time.Duration
 	inflight       int
 	overrideActive bool
-	rig            []sensors.RigReturn
-	returns        []sensors.RadarReturn
+	// Scheduler decisions snapshotted at capture, so the plan stage can
+	// emit their spans/metrics without touching scheduler state.
+	schedRemap    bool
+	schedOpSwitch bool
+	schedSwap     time.Duration
+	rig           []sensors.RigReturn
+	returns       []sensors.RadarReturn
 
 	// Perceive-stage outputs.
 	dets    []detect.Object
@@ -157,18 +163,47 @@ func (s *SoV) captureInto(fr *cycleFrame) {
 
 	fr.complexity = s.world.SceneComplexity(fr.pose, fr.t0)
 	keyframe := s.cfg.KeyframeEvery > 0 && s.cycle%s.cfg.KeyframeEvery == 0
+	if s.cfg.DynamicKeyframe && fr.complexity >= 0.6 {
+		// Dynamic traffic extracts fresh features nearly every frame.
+		keyframe = true
+	}
 	radarStable := true
 	if p := s.radarRig.Units[0].Config.DropoutProb; p > 0 {
 		radarStable = !s.rng.Bernoulli(p)
 	}
 
-	fr.d = s.lat.draw(fr.complexity, keyframe, radarStable)
+	// The online scheduler runs at capture, on the engine thread, in cycle
+	// order: its inputs (battery SoC, keyframe schedule, the EWMAs fed by
+	// prior draws) are all virtual-class, so the decision sequence — and
+	// therefore every multiplier it hands the latency model — is identical
+	// across worker counts and control-loop modes.
+	var tr *sched.Transform
+	fr.schedRemap, fr.schedOpSwitch, fr.schedSwap = false, false, 0
+	if s.sched != nil {
+		var ev sched.Events
+		tr, ev = s.sched.BeginCycle(s.battery.SoC, keyframe)
+		fr.schedRemap, fr.schedOpSwitch = ev.Remapped, ev.OpSwitched
+	}
+
+	fr.d = s.lat.draw(fr.complexity, keyframe, radarStable, tr)
+	if s.sched != nil {
+		// Feed the drawn latencies back before the RPR swap charge, so the
+		// EWMAs track task compute, not front-end reconfiguration.
+		s.sched.Observe(fr.d.Depth, fr.d.Detection, fr.d.Tracking, fr.d.Localization,
+			!(s.cfg.RadarTracking && radarStable))
+	}
 	// RPR swap cost folds into localization when the front-end variant
-	// changes (Sec. V-B3: < 3 ms).
+	// changes (Sec. V-B3: < 3 ms). The scheduler may hold the extract
+	// bitstream resident (sticky front-end) instead of following the
+	// keyframe schedule; either way the swap latency is charged to the
+	// cycle that triggered it.
 	if s.rprMgr != nil {
 		bs := rpr.BitstreamFeatureTrack
 		if keyframe {
 			bs = rpr.BitstreamFeatureExtract
+		}
+		if s.sched != nil {
+			bs = s.sched.FrontEnd()
 		}
 		if res := s.rprMgr.Require(bs); res.Bytes > 0 {
 			fr.d.Localization += res.Duration
@@ -176,6 +211,10 @@ func (s *SoV) captureInto(fr *cycleFrame) {
 				fr.d.Perception = fr.d.Localization
 			}
 			fr.d.Tcomp = fr.d.Sensing + fr.d.Perception + fr.d.Planning
+			if s.sched != nil {
+				s.sched.NoteSwap(res.Duration)
+				fr.schedSwap = res.Duration
+			}
 		}
 	}
 	s.report.observe(fr.d)

@@ -5,6 +5,7 @@ import (
 
 	"sov/internal/isp"
 	"sov/internal/platform"
+	"sov/internal/sched"
 	"sov/internal/sim"
 )
 
@@ -45,13 +46,21 @@ const (
 // slowing localization; more objects slow detection post-processing).
 // keyframe selects the feature-extraction front-end variant (slower than
 // tracking by ~2×: 20 ms vs 10 ms class).
-func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool) latencyDraw {
+//
+// tr, when non-nil, is the online scheduler's per-cycle Transform: mapping/
+// operating-point/camera multipliers applied after every RNG draw, so the
+// random stream is byte-identical for every scheduling decision. It
+// supersedes the static Quant and FPGAOffload scaling (the scheduler owns
+// the operating point and the contention factors fold into its mapping
+// ratios), and at the deployed GPU/FPGA float point every multiplier is
+// exactly 1.0 — the draw is bit-identical to the scheduler-off path.
+func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool, tr *sched.Transform) latencyDraw {
 	var d latencyDraw
 
 	// Sensing: exposure + readout + ISP/kernel/app pipeline.
-	tr := m.pipe.DeliverInto(m.delays, m.rng)
-	m.delays = tr.Delays
-	d.Sensing = exposure + readout + tr.Total
+	ispTr := m.pipe.DeliverInto(m.delays, m.rng)
+	m.delays = ispTr.Delays
+	d.Sensing = exposure + readout + ispTr.Total
 	if !m.cfg.HardwareSync {
 		// Software sync adds an alignment search at the application
 		// layer (buffering + nearest-timestamp matching).
@@ -77,17 +86,34 @@ func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool) late
 	// measurement, so quantized runs stay reproducible across machines
 	// (BenchmarkQuantSpeedup validates the floor). Scaling happens after
 	// the draws so the RNG stream is identical with and without -quant.
-	if m.cfg.Quant {
+	if tr == nil && m.cfg.Quant {
 		d.Depth = platform.QuantizedLatency(d.Depth)
 		d.Detection = platform.QuantizedLatency(d.Detection)
 	}
+	if tr != nil {
+		if tr.Quant {
+			d.Depth = platform.QuantizedLatency(d.Depth)
+			d.Detection = platform.QuantizedLatency(d.Detection)
+		}
+		d.Depth = time.Duration(float64(d.Depth) * tr.Depth)
+		d.Detection = time.Duration(float64(d.Detection) * tr.Det)
+	} else if m.cfg.Cameras > 1 {
+		// Without the scheduler extra cameras run sequential inferences.
+		d.Detection *= time.Duration(m.cfg.Cameras)
+	}
 
-	if m.cfg.RadarTracking && radarStable {
+	kcf := !(m.cfg.RadarTracking && radarStable)
+	if !kcf {
 		// Spatial synchronization on the CPU: ~1 ms (Sec. VI-B).
 		d.Tracking = time.Duration(m.rng.TruncNormal(1e6, 0.2e6, 0.5e6, 2e6))
 	} else {
-		// KCF fallback: ~100× the spatial-sync cost.
+		// KCF fallback: ~100× the spatial-sync cost. The fallback is visual
+		// tracking on the scene-understanding processor, so the scheduler's
+		// mapping ratio applies here and only here.
 		d.Tracking = time.Duration(m.rng.TruncNormal(17e6, 3e6, 10e6, 30e6))
+		if tr != nil {
+			d.Tracking = time.Duration(float64(d.Tracking) * tr.Track)
+		}
 	}
 
 	// Localization: 25 ms median, 14 ms std, complexity-driven (Sec. V-C).
@@ -99,6 +125,9 @@ func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool) late
 	if loc > 120e6 {
 		loc = 120e6
 	}
+	if tr != nil {
+		loc *= tr.Loc
+	}
 	d.Localization = time.Duration(loc)
 
 	su := d.Detection + d.Tracking
@@ -106,8 +135,10 @@ func (m *latencyModel) draw(complexity float64, keyframe, radarStable bool) late
 		su = d.Depth
 	}
 	locLat := d.Localization
-	if !m.cfg.FPGAOffload {
-		// Sharing the GPU inflates both groups (Fig. 8: 77→120 ms).
+	if tr == nil && !m.cfg.FPGAOffload {
+		// Sharing the GPU inflates both groups (Fig. 8: 77→120 ms). With
+		// the scheduler attached the contention lives in the mapping ratios
+		// instead (platform.Contended folds it into every candidate).
 		su = time.Duration(float64(su) * 120.0 / 77.0)
 		locLat = time.Duration(float64(locLat) * 120.0 / 77.0)
 	}

@@ -31,6 +31,10 @@ const (
 	tidPlanning
 	tidDeliver
 	tidActuate
+	// tidSched carries the online scheduler's decision events; the lane is
+	// only declared when the scheduler is attached, so trace output without
+	// -sched is unchanged.
+	tidSched
 )
 
 // Span names are package constants so the hot record path never builds
@@ -46,6 +50,10 @@ const (
 	spanPlanning   = "planning"
 	spanDeliver    = "deliver"
 	spanActuate    = "actuate"
+	spanSched      = "sched"
+	spanSchedRemap = "sched-remap"
+	spanSchedOp    = "sched-op-switch"
+	spanSchedSwap  = "sched-rpr-swap"
 )
 
 // Host-track stage lanes (one per pipeline stage, in Runtime order).
@@ -67,6 +75,12 @@ type coreMetrics struct {
 	tcompMs    *obs.Histogram
 	e2eMs      *obs.Histogram
 	inflightH  *obs.Histogram
+
+	// Scheduler decision counters; nil unless the scheduler is attached so
+	// the exposition without -sched is byte-stable against its goldens.
+	schedRemaps     *obs.Counter
+	schedOpSwitches *obs.Counter
+	schedSwaps      *obs.Counter
 
 	// Lazily registered run-summary handles, plus the previously published
 	// totals so cumulative sources (ECU, rigs, bus) publish deltas and stay
@@ -100,6 +114,11 @@ func (s *SoV) AttachMetrics(reg *obs.Registry) {
 	m.tcompMs = reg.Histogram("sov_tcomp_ms", "per-cycle computing latency Tcomp (ms)", obs.ClassVirtual, 0, 800, 40)
 	m.e2eMs = reg.Histogram("sov_e2e_ms", "end-to-end latency Tcomp+Tdata+Tmech (ms)", obs.ClassVirtual, 0, 800, 40)
 	m.inflightH = reg.Histogram("sov_inflight_commands", "commands in flight at capture (virtual pipeline depth)", obs.ClassVirtual, 0, 8, 8)
+	if s.sched != nil {
+		m.schedRemaps = reg.Counter("sov_sched_remaps_total", "online scheduler task remappings", obs.ClassVirtual)
+		m.schedOpSwitches = reg.Counter("sov_sched_op_switches_total", "online scheduler quant/float operating-point switches", obs.ClassVirtual)
+		m.schedSwaps = reg.Counter("sov_sched_rpr_swaps_total", "RPR bitstream swaps charged by the scheduler", obs.ClassVirtual)
+	}
 	s.obsM = m
 }
 
@@ -117,6 +136,9 @@ func (s *SoV) AttachSpans(sw *obs.SpanWriter) {
 	sw.DeclareThread(obs.PIDVirtual, tidPlanning, spanPlanning)
 	sw.DeclareThread(obs.PIDVirtual, tidDeliver, spanDeliver)
 	sw.DeclareThread(obs.PIDVirtual, tidActuate, spanActuate)
+	if s.sched != nil {
+		sw.DeclareThread(obs.PIDVirtual, tidSched, spanSched)
+	}
 	s.spans = sw
 }
 
@@ -137,6 +159,24 @@ func (s *SoV) observeCycleMetrics(fr *cycleFrame) {
 	m.cycles.Inc()
 	m.tcompMs.Observe(ms(fr.d.Tcomp))
 	m.inflightH.Observe(float64(fr.inflight))
+	if m.schedRemaps != nil {
+		if fr.schedRemap {
+			m.schedRemaps.Inc()
+		}
+		if fr.schedOpSwitch {
+			m.schedOpSwitches.Inc()
+		}
+		if fr.schedSwap > 0 {
+			m.schedSwaps.Inc()
+		}
+	}
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // observeE2E files one cycle's end-to-end latency with the report and, when
@@ -177,6 +217,17 @@ func (s *SoV) recordSpans(fr *cycleFrame) {
 	sw.Span(obs.PIDVirtual, tidPlanning, spanPlanning, spanPerception, c, pStart+fr.d.Perception, fr.d.Planning)
 	sw.Span(obs.PIDVirtual, tidDeliver, spanDeliver, spanPlanning, c, t0+fr.d.Tcomp, fr.tdata)
 	sw.Span(obs.PIDVirtual, tidActuate, spanActuate, spanDeliver, c, t0+fr.d.Tcomp+fr.tdata, s.cfg.Vehicle.MechLatency)
+	// Scheduler decision events, snapshotted into the frame at capture so
+	// this (plan-stage) emitter stays the only SpanWriter caller.
+	if fr.schedRemap {
+		sw.Span(obs.PIDVirtual, tidSched, spanSchedRemap, spanCapture, c, t0, 0)
+	}
+	if fr.schedOpSwitch {
+		sw.Span(obs.PIDVirtual, tidSched, spanSchedOp, spanCapture, c, t0, 0)
+	}
+	if fr.schedSwap > 0 {
+		sw.Span(obs.PIDVirtual, tidSched, spanSchedSwap, spanCapture, c, t0, fr.schedSwap)
+	}
 }
 
 // recordBox files one cycle with the flight recorder. Runs on the plan
@@ -247,6 +298,13 @@ func (s *SoV) publishRunMetrics() {
 	m.gaugeSet("sov_proactive_fraction", "share of driving time not under reactive override", obs.ClassVirtual, r.ProactiveFraction)
 	m.gaugeSet("sov_ad_energy_wh", "autonomous-driving system energy over the run", obs.ClassVirtual, r.ADEnergyWh)
 	m.gaugeSet("sov_battery_soc", "battery state of charge at end of run", obs.ClassVirtual, s.battery.SoC)
+
+	// Online scheduler summary (virtual: the thermal projection is a pure
+	// function of virtual-time duty EWMAs).
+	if s.sched != nil {
+		m.gaugeSet("sov_sched_temp_c", "scheduler float-equivalent steady temperature projection", obs.ClassVirtual, s.sched.TempC())
+		m.gaugeSet("sov_sched_quantized", "current operating point (1 = int8)", obs.ClassVirtual, b2f(s.sched.Quantized()))
+	}
 
 	// ECU (virtual): every state transition happens at a virtual-time event.
 	frames, overrides, rejected := s.ecu.Stats()

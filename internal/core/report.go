@@ -9,6 +9,7 @@ import (
 	"sov/internal/models"
 	"sov/internal/pipeline"
 	"sov/internal/platform"
+	"sov/internal/sched"
 	"sov/internal/stats"
 )
 
@@ -48,6 +49,9 @@ type Report struct {
 	// QuantizedPerception records whether the run drew scene-understanding
 	// latencies from the int8 fixed-point operating points (-quant).
 	QuantizedPerception bool
+	// Sched holds the online scheduler's cumulative decision record when the
+	// run attached it (-sched); nil otherwise.
+	Sched *sched.Stats
 
 	Cycles              int
 	CommandsDelivered   int
@@ -241,6 +245,10 @@ func (r *Report) Render() string {
 	if r.QuantizedPerception {
 		fmt.Fprintf(&b, "perception compute: int8 fixed-point operating points (x%.1f)\n", platform.QuantSpeedup)
 	}
+	if sc := r.Sched; sc != nil {
+		fmt.Fprintf(&b, "online scheduler: mapping=%s quant=%v sticky=%v temp=%.1fC windows=%d remaps=%d op-switches=%d rpr-swaps=%d (%.1f ms)\n",
+			sc.Mapping, sc.Quantized, sc.Sticky, sc.TempC, sc.Windows, sc.Remaps, sc.OpSwitches, sc.Swaps, ms(sc.SwapTotal))
+	}
 	if p := r.Pipeline; p != nil {
 		fmt.Fprintf(&b, "pipelined runtime (wall clock):\n")
 		for _, st := range p.Stages {
@@ -277,6 +285,10 @@ func (r *Report) renderLean() string {
 	fmt.Fprintf(&b, "pipeline depth (commands in flight at capture): mean=%.2f\n", r.leanDepth.Mean())
 	if r.PipelineDecision != "" {
 		fmt.Fprintf(&b, "control loop: %s\n", r.PipelineDecision)
+	}
+	if sc := r.Sched; sc != nil {
+		fmt.Fprintf(&b, "online scheduler: mapping=%s quant=%v sticky=%v temp=%.1fC windows=%d remaps=%d op-switches=%d rpr-swaps=%d (%.1f ms)\n",
+			sc.Mapping, sc.Quantized, sc.Sticky, sc.TempC, sc.Windows, sc.Remaps, sc.OpSwitches, sc.Swaps, ms(sc.SwapTotal))
 	}
 	return b.String()
 }

@@ -23,6 +23,32 @@ func CruiseScenario(seed int64) *world.World {
 	return w
 }
 
+// DynamicTrafficScenario builds the phase-shifting corridor behind the
+// online-scheduler studies: calm cruising, then a dense pedestrian block
+// (crossings every 8 m saturate the scene-complexity model, inflating
+// detection and forcing feature-extraction keyframes nearly every frame),
+// then calm again. The task mix — detection-heavy with stall-amplified
+// tails during the heavy block, localization-light either side — is what
+// a static mapping cannot track and the scheduler can.
+func DynamicTrafficScenario(seed int64) *world.World {
+	rng := sim.NewRNG(seed)
+	w := world.NewCorridor(1600, rng)
+	cross := func(x float64) {
+		t := time.Duration(x/5.6*0.7) * time.Second
+		w.AddCutInPedestrian(x, t, 2.0)
+	}
+	for x := 150.0; x < 500; x += 90 {
+		cross(x) // calm approach
+	}
+	for x := 500.0; x < 1100; x += 8 {
+		cross(x) // heavy block: complexity saturates
+	}
+	for x := 1100.0; x < 1500; x += 90 {
+		cross(x) // calm again
+	}
+	return w
+}
+
 // CutInScenario places a pedestrian that steps into the lane when the
 // vehicle is exactly triggerDistance meters away (at the configured speed),
 // the canonical obstacle-avoidance stress test of Fig. 3a.

@@ -15,6 +15,7 @@ import (
 	"sov/internal/pipeline"
 	"sov/internal/planning"
 	"sov/internal/rpr"
+	"sov/internal/sched"
 	"sov/internal/sensors"
 	"sov/internal/sim"
 	"sov/internal/track"
@@ -46,6 +47,7 @@ type SoV struct {
 	plan     planner
 	lat      *latencyModel
 	rprMgr   *rpr.Manager
+	sched    *sched.Scheduler
 
 	battery *vehicle.Battery
 	tracer  *Tracer
@@ -131,6 +133,35 @@ func New(cfg Config, w *world.World) *SoV {
 		s.rprMgr = rpr.NewManager()
 	}
 	s.battery = vehicle.NewBattery(models.DefaultEnergyModel().CapacityKWh)
+	if cfg.InitialSoC > 0 {
+		s.battery.SoC = cfg.InitialSoC
+	}
+	if cfg.Sched {
+		sc := sched.DefaultConfig()
+		sc.ControlRate = cfg.ControlRate
+		if cfg.Cameras > 1 {
+			sc.Cameras = cfg.Cameras
+		}
+		if cfg.AmbientC > 0 {
+			sc.AmbientC = cfg.AmbientC
+		}
+		sc.Static = cfg.SchedStatic
+		// -quant builds the perception stack on the int8 kernels, so the
+		// scheduler may not float the operating point back out from under it.
+		sc.QuantFloor = cfg.Quant
+		if cfg.SchedMapping != "" {
+			m, err := sched.ParseMapping(cfg.SchedMapping)
+			if err != nil {
+				panic(err)
+			}
+			sc.Mapping = m
+		}
+		sch, err := sched.New(sc)
+		if err != nil {
+			panic(err)
+		}
+		s.sched = sch
+	}
 	s.serialFrame = newCycleFrame()
 	s.report.init(cfg.LeanReport)
 	s.report.QuantizedPerception = cfg.Quant
@@ -139,6 +170,17 @@ func New(cfg Config, w *world.World) *SoV {
 
 // Battery exposes the pack for long-run inspection.
 func (s *SoV) Battery() *vehicle.Battery { return s.battery }
+
+// SchedBatching reports whether batched multi-image inference is currently
+// allowed: always without the scheduler (the deployed GPU mapping batches),
+// otherwise only while scene understanding sits on a batching-capable
+// processor. The fleet substrate consults it before cross-vehicle batching.
+func (s *SoV) SchedBatching() bool {
+	if s.sched == nil {
+		return true
+	}
+	return s.sched.BatchCapable()
+}
 
 // Cycles returns the number of control cycles captured so far (live — the
 // fleet substrate reads it between epochs without finishing the run).
@@ -227,6 +269,10 @@ func (s *SoV) Halted() bool { return s.engine.Stopped() }
 // and publishes the run-summary metrics.
 func (s *SoV) Finish(duration time.Duration) *Report {
 	s.stopPipeline()
+	if s.sched != nil {
+		st := s.sched.Snapshot()
+		s.report.Sched = &st
+	}
 	s.report.finish(duration, s)
 	s.publishRunMetrics()
 	return &s.report

@@ -225,13 +225,15 @@ func runFleetTrace(t *testing.T, cfg Config, workers int, horizon time.Duration)
 func TestDeterminismAcrossWorkersAndModes(t *testing.T) {
 	horizon := 12 * time.Second
 	modes := []struct {
-		name            string
-		pipeline, quant bool
+		name                   string
+		pipeline, quant, sched bool
 	}{
-		{"serial/float", false, false},
-		{"serial/quant", false, true},
-		{"pipelined/float", true, false},
-		{"pipelined/quant", true, true},
+		{"serial/float", false, false, false},
+		{"serial/quant", false, true, false},
+		{"pipelined/float", true, false, false},
+		{"pipelined/quant", true, true, false},
+		{"serial/sched", false, false, true},
+		{"pipelined/sched", true, false, true},
 	}
 	for _, m := range modes {
 		t.Run(m.name, func(t *testing.T) {
@@ -240,6 +242,7 @@ func TestDeterminismAcrossWorkersAndModes(t *testing.T) {
 			cfg.Vehicle.Quant = m.quant
 			cfg.Vehicle.Pipeline = m.pipeline
 			cfg.Vehicle.PipelineForce = m.pipeline
+			cfg.Vehicle.Sched = m.sched
 			refTrace, refSummary := runFleetTrace(t, cfg, 1, horizon)
 			if refTrace == "" {
 				t.Fatal("empty trace")

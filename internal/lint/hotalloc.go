@@ -100,6 +100,13 @@ var hotKernels = map[string][]string{
 		// Per-cycle telemetry emitters feeding the obs layer (DESIGN.md §9).
 		"SoV.recordSpans", "SoV.recordBox", "SoV.observeCycleMetrics",
 	},
+	"sov/internal/sched": {
+		// Online-scheduler per-cycle methods (DESIGN.md §13): run inside
+		// captureInto on the engine thread every control cycle, covered by
+		// the sched variants of the steady-state alloc gate.
+		"Scheduler.BeginCycle", "Scheduler.Observe", "Scheduler.FrontEnd",
+		"Scheduler.NoteSwap",
+	},
 	"sov/internal/fleet": {
 		// Fleet epoch-loop leaves (DESIGN.md §11): ring geometry for the
 		// dispatcher, Poisson demand draws, RNG stream derivation, and the

@@ -64,6 +64,11 @@ type Processor struct {
 	CANInterface bool
 	// Automotive marks automotive-grade qualification (Sec. III-C).
 	Automotive bool
+	// Batching marks processors whose inference runtime amortizes
+	// multi-image batches (layer-major batched forwards, DESIGN.md §10);
+	// the online scheduler only batches multi-camera inference when scene
+	// understanding sits on one of these.
+	Batching bool
 }
 
 // Energy returns the energy of running the task once, in joules, and
@@ -102,6 +107,7 @@ func Catalog() map[string]*Processor {
 				TaskLocalization: 31 * time.Millisecond,
 			},
 			PowerW: 120, IdlePowerW: 11, CostUSD: 300,
+			Batching: true,
 		},
 		"TX2": {
 			Name: "TX2", // Nvidia Jetson TX2 (Pascal GPU + Cortex-A57)
@@ -113,6 +119,7 @@ func Catalog() map[string]*Processor {
 			},
 			PowerW: 12, IdlePowerW: 2, CostUSD: 600,
 			SensorInterface: true,
+			Batching:        true,
 		},
 		"FPGA": {
 			Name: "FPGA", // Xilinx Zynq UltraScale+ (automotive grade)
@@ -198,6 +205,21 @@ type PerceptionResult struct {
 // is not inflated further.
 const gpuContentionFactor = 120.0 / 77.0
 
+// ContentionFactor exposes the GPU co-location inflation for candidate
+// scoring (the online scheduler applies it to every contended candidate,
+// not just the chosen mapping, so scoring and EvaluateMapping agree).
+const ContentionFactor = gpuContentionFactor
+
+// Contended reports whether a mapping co-locates scene understanding and
+// localization on the GPU — the one pairing the paper measures contention
+// for. EvaluateMapping and the scheduler's candidate scoring both use it,
+// so the two can never diverge.
+func Contended(cat map[string]*Processor, m Mapping) bool {
+	su, ok1 := cat[m.SceneUnderstanding]
+	loc, ok2 := cat[m.Localization]
+	return ok1 && ok2 && su == loc && su.Name == "GPU"
+}
+
 // EvaluateMapping computes the perception latency of a mapping, applying
 // GPU contention when both groups share the GPU. Scene understanding is
 // depth ∥ (detection → tracking); the slower chain dictates.
@@ -221,7 +243,7 @@ func EvaluateMapping(m Mapping, cat map[string]*Processor) (PerceptionResult, er
 	if depth > suLat {
 		suLat = depth
 	}
-	if m.SceneUnderstanding == "GPU" && m.Localization == "GPU" {
+	if Contended(cat, m) {
 		suLat = time.Duration(float64(suLat) * gpuContentionFactor)
 	}
 	perception := suLat
@@ -255,7 +277,19 @@ func ExploreMappings() []PerceptionResult {
 		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PerceptionLatency < out[j].PerceptionLatency })
+	// Ties are real (TX2 scene understanding bottlenecks TX2/GPU and
+	// TX2/TX2 identically), so the mapping names break them — sort.Slice is
+	// unstable and would otherwise pin the order to the sort's internals.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PerceptionLatency != out[j].PerceptionLatency {
+			return out[i].PerceptionLatency < out[j].PerceptionLatency
+		}
+		a, b := out[i].Mapping, out[j].Mapping
+		if a.SceneUnderstanding != b.SceneUnderstanding {
+			return a.SceneUnderstanding < b.SceneUnderstanding
+		}
+		return a.Localization < b.Localization
+	})
 	return out
 }
 

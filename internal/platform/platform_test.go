@@ -139,6 +139,95 @@ func TestExploreMappingsSortedAndOursBest(t *testing.T) {
 	}
 }
 
+// TestExploreMappingsDeterministicTieBreak pins the secondary sort key: the
+// TX2-bottlenecked pairs (TX2/GPU, TX2/TX2) land on identical perception
+// latency, and the mapping names must break the tie the same way on every
+// call — the online scheduler's candidate ordering depends on it.
+func TestExploreMappingsDeterministicTieBreak(t *testing.T) {
+	first := ExploreMappings()
+	iGPU, iTX2 := -1, -1
+	for i, r := range first {
+		switch r.Mapping {
+		case (Mapping{SceneUnderstanding: "TX2", Localization: "GPU"}):
+			iGPU = i
+		case (Mapping{SceneUnderstanding: "TX2", Localization: "TX2"}):
+			iTX2 = i
+		}
+	}
+	if iGPU < 0 || iTX2 < 0 {
+		t.Fatalf("TX2 pairs missing from exploration: %+v", first)
+	}
+	if first[iGPU].PerceptionLatency != first[iTX2].PerceptionLatency {
+		t.Fatalf("expected a genuine tie, got %v vs %v",
+			first[iGPU].PerceptionLatency, first[iTX2].PerceptionLatency)
+	}
+	if iGPU > iTX2 {
+		t.Fatal("tie broken against localization name order: TX2/GPU must precede TX2/TX2")
+	}
+	for trial := 0; trial < 10; trial++ {
+		again := ExploreMappings()
+		for i := range first {
+			if again[i].Mapping != first[i].Mapping {
+				t.Fatalf("exploration order unstable at %d: %+v vs %+v",
+					i, again[i].Mapping, first[i].Mapping)
+			}
+		}
+	}
+}
+
+// TestContendedTruthTable: contention means scene understanding and
+// localization time-share the *same GPU* — not merely the same processor
+// (the paper's TX2/TX2 rows carry no such factor), and not different
+// processors of any kind.
+func TestContendedTruthTable(t *testing.T) {
+	cat := Catalog()
+	cases := []struct {
+		su, loc string
+		want    bool
+	}{
+		{"GPU", "GPU", true},
+		{"GPU", "FPGA", false},
+		{"GPU", "TX2", false},
+		{"TX2", "TX2", false}, // shared, but not the GPU
+		{"CPU", "CPU", false},
+		{"TX2", "GPU", false},
+		{"XPU", "GPU", false}, // unknown processors never contend
+		{"GPU", "XPU", false},
+	}
+	for _, c := range cases {
+		m := Mapping{SceneUnderstanding: c.su, Localization: c.loc}
+		if got := Contended(cat, m); got != c.want {
+			t.Errorf("Contended(%s/%s) = %v, want %v", c.su, c.loc, got, c.want)
+		}
+	}
+	// And EvaluateMapping's contended score actually reflects it: GPU/GPU
+	// must be slower than GPU/FPGA by more than the localization delta.
+	shared, err := EvaluateMapping(Mapping{SceneUnderstanding: "GPU", Localization: "GPU"}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := EvaluateMapping(OurDesign(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.PerceptionLatency <= time.Duration(float64(ours.PerceptionLatency)*ContentionFactor*0.99) {
+		t.Fatalf("GPU/GPU (%v) does not carry the contention factor over GPU/FPGA (%v)",
+			shared.PerceptionLatency, ours.PerceptionLatency)
+	}
+}
+
+// TestBatchingCapability pins which processors the scheduler may batch
+// multi-camera (and cross-vehicle) inference on: the CUDA runtimes batch,
+// the spatial FPGA accelerator and the CPU fallback do not.
+func TestBatchingCapability(t *testing.T) {
+	cat := Catalog()
+	for name, want := range map[string]bool{"GPU": true, "TX2": true, "FPGA": false, "CPU": false} {
+		if cat[name].Batching != want {
+			t.Errorf("%s Batching = %v, want %v", name, cat[name].Batching, want)
+		}
+	}
+}
+
 func TestEvaluateMappingErrors(t *testing.T) {
 	if _, err := EvaluateMapping(Mapping{SceneUnderstanding: "QPU", Localization: "GPU"}, Catalog()); err == nil {
 		t.Fatal("unknown processor should error")

@@ -113,6 +113,58 @@ func TestManagerSwapsOnlyOnChange(t *testing.T) {
 	}
 }
 
+// TestManagerScriptedSequence drives the manager through a deterministic
+// keyframe-style schedule and pins the exact swap accounting the online
+// scheduler's NoteSwap charging depends on: every repeat Require is free
+// (zero-duration Result, counted as avoided, never as a swap), every variant
+// change transfers, and two managers fed the same script produce identical
+// cumulative stats.
+func TestManagerScriptedSequence(t *testing.T) {
+	script := func(m *Manager) (swapTotal time.Duration) {
+		// K T T T K T T K K T — a plausible extract/track schedule.
+		seq := []Bitstream{
+			BitstreamFeatureExtract, BitstreamFeatureTrack, BitstreamFeatureTrack,
+			BitstreamFeatureTrack, BitstreamFeatureExtract, BitstreamFeatureTrack,
+			BitstreamFeatureTrack, BitstreamFeatureExtract, BitstreamFeatureExtract,
+			BitstreamFeatureTrack,
+		}
+		for i, b := range seq {
+			r := m.Require(b)
+			if m.Current() != b.Name {
+				t.Fatalf("step %d: current = %s, want %s", i, m.Current(), b.Name)
+			}
+			if i > 0 && seq[i-1].Name == b.Name {
+				if r.Duration != 0 || r.Bytes != 0 {
+					t.Fatalf("step %d: repeat require of %s cost %v (%d bytes), want free",
+						i, b.Name, r.Duration, r.Bytes)
+				}
+				continue
+			}
+			if r.Duration <= 0 {
+				t.Fatalf("step %d: variant change to %s was free", i, b.Name)
+			}
+			swapTotal += r.Duration
+		}
+		return swapTotal
+	}
+
+	m1, m2 := NewManager(), NewManager()
+	t1, t2 := script(m1), script(m2)
+	s1, a1 := m1.Stats()
+	if s1 != 6 || a1 != 4 {
+		t.Fatalf("swaps=%d avoided=%d, want 6 swaps and 4 avoided", s1, a1)
+	}
+	s2, a2 := m2.Stats()
+	if s1 != s2 || a1 != a2 || t1 != t2 {
+		t.Fatalf("scripted runs diverged: (%d,%d,%v) vs (%d,%d,%v)", s1, a1, t1, s2, a2, t2)
+	}
+	eSwaps, eTotal, _ := m1.Engine.Stats()
+	if eSwaps != s1 || eTotal != t1 {
+		t.Fatalf("engine stats (%d, %v) disagree with manager accounting (%d, %v)",
+			eSwaps, eTotal, s1, t1)
+	}
+}
+
 func TestEngineResourceFootprint(t *testing.T) {
 	r := EngineResources()
 	if r.LUTs > 500 || r.FFs > 500 {

@@ -45,11 +45,13 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 // lengths so setup-time allocations (world, detector, pools) cancel out.
 // With instrumented set, the full telemetry layer — metrics registry, span
 // writer, flight recorder — is attached, so the gate also covers the obs
-// record paths.
-func measureSteadyStateAllocs(pipelined, instrumented bool) float64 {
+// record paths. With sched set, the online heterogeneous scheduler runs in
+// the loop, so the gate covers its per-cycle BeginCycle/Observe path too.
+func measureSteadyStateAllocs(pipelined, instrumented, sched bool) float64 {
 	run := func(d time.Duration) (uint64, int) {
 		cfg := core.DefaultConfig()
 		cfg.Pipeline = pipelined
+		cfg.Sched = sched
 		s := core.New(cfg, core.CruiseScenario(3))
 		if instrumented {
 			s.AttachMetrics(obs.NewRegistry())
@@ -76,19 +78,24 @@ func measureSteadyStateAllocs(pipelined, instrumented bool) float64 {
 // growth without letting a per-cycle regression slip through. The
 // instrumented variants hold the telemetry layer to the same bound: its
 // steady-state record paths (counters, histogram bins, buffered spans, the
-// flight-recorder ring) must add ~0 allocs/cycle.
+// flight-recorder ring) must add ~0 allocs/cycle. The sched variants hold
+// the online scheduler to it as well: BeginCycle/Observe/decide work
+// entirely in preallocated candidate tables.
 func TestControlLoopSteadyStateAllocs(t *testing.T) {
 	for _, mode := range []struct {
 		name         string
 		pipelined    bool
 		instrumented bool
+		sched        bool
 	}{
-		{"serial", false, false},
-		{"pipelined", true, false},
-		{"serial+obs", false, true},
-		{"pipelined+obs", true, true},
+		{"serial", false, false, false},
+		{"pipelined", true, false, false},
+		{"serial+obs", false, true, false},
+		{"pipelined+obs", true, true, false},
+		{"serial+sched", false, false, true},
+		{"pipelined+obs+sched", true, true, true},
 	} {
-		if got := measureSteadyStateAllocs(mode.pipelined, mode.instrumented); got > 2 {
+		if got := measureSteadyStateAllocs(mode.pipelined, mode.instrumented, mode.sched); got > 2 {
 			t.Errorf("%s control loop allocates %.2f allocs/cycle in steady state, want < 2",
 				mode.name, got)
 		}

@@ -9,11 +9,17 @@
 //	sovfleet [-vehicles 1000] [-regions 8] [-duration 10m] [-epoch 1s]
 //	         [-seed 1] [-workers N] [-demand 120] [-quant] [-sched]
 //	         [-pipeline] [-perception 0] [-trace fleet.jsonl]
-//	         [-metrics fleet.prom] [-hist]
+//	         [-metrics fleet.prom] [-hist] [-cloud telemetry-dir]
+//
+// With -cloud, every epoch's barrier streams per-vehicle events into the
+// LSM telemetry store at that directory (DESIGN.md §14); query it with
+// sovquery. The store's on-disk state is byte-identical for any -workers
+// count.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +31,7 @@ import (
 	"sov/internal/fleet"
 	"sov/internal/obs"
 	"sov/internal/parallel"
+	"sov/internal/telemetry"
 )
 
 //sovlint:wallclock host-throughput report only; simulation results are virtual-time
@@ -43,6 +50,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write the per-epoch JSONL fleet trace here (- for stdout)")
 	metricsPath := flag.String("metrics", "", "write the fleet metrics exposition here (.json for JSON, else Prometheus text)")
 	hist := flag.Bool("hist", false, "print the rider wait-time histogram")
+	cloudDir := flag.String("cloud", "", "ingest per-epoch fleet telemetry into the LSM store at this directory")
 	flag.Parse()
 
 	parallel.SetWorkers(*workers)
@@ -78,9 +86,22 @@ func main() {
 		cfg.Trace = bw
 	}
 
+	var store *telemetry.Store
+	var ingest *telemetry.Ingestor
+	if *cloudDir != "" {
+		var err error
+		store, err = telemetry.Open(*cloudDir, telemetry.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cloud:", err)
+			os.Exit(1)
+		}
+		ingest = telemetry.NewIngestor(store)
+		cfg.Cloud = ingest
+	}
+
 	var reg *obs.Registry
 	fl := fleet.New(cfg)
-	if *metricsPath != "" {
+	if *metricsPath != "" || store != nil {
 		reg = obs.NewRegistry()
 		fl.AttachMetrics(reg)
 	}
@@ -88,6 +109,29 @@ func main() {
 	start := time.Now()
 	sum := fl.Run(*duration)
 	wall := time.Since(start)
+
+	if store != nil {
+		if err := fl.CloudErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "cloud:", err)
+			os.Exit(1)
+		}
+		// Final fleet-wide metrics snapshot rides along as the last event.
+		var mbuf bytes.Buffer
+		if err := reg.WriteJSON(&mbuf, true); err == nil {
+			ingest.IngestMetrics(fl.Now(), mbuf.Bytes())
+		}
+		if err := ingest.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "cloud:", err)
+			os.Exit(1)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cloud:", err)
+			os.Exit(1)
+		}
+		st := store.Stats()
+		fmt.Printf("cloud: %d events ingested into %s (%d flushes, %d compactions, write amp %.2f)\n",
+			st.Events, *cloudDir, st.Flushes, st.Compactions, st.WriteAmplification())
+	}
 
 	fmt.Print(sum.Render())
 	rate := float64(sum.Vehicles) * sum.VirtualTime.Seconds() / wall.Seconds()
@@ -97,7 +141,7 @@ func main() {
 		fmt.Print(fl.WaitHistogram(48))
 	}
 
-	if reg != nil {
+	if reg != nil && *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)

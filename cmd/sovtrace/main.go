@@ -9,6 +9,10 @@
 //	                                 (produced by `sovsim -spans`): per-stage
 //	                                 latency percentiles and perception
 //	                                 critical-path attribution per cycle
+//	sovtrace -blackbox <box.jsonl>   triage a flight-recorder dump archive
+//	                                 (produced by `sovsim -blackbox`):
+//	                                 trigger kind x dump count x first/last
+//	                                 virtual time
 package main
 
 import (
@@ -22,9 +26,10 @@ import (
 
 func main() {
 	spansMode := flag.Bool("spans", false, "treat the input as a Chrome trace_event span file")
+	blackboxMode := flag.Bool("blackbox", false, "treat the input as a flight-recorder JSONL dump archive")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Println("usage: sovtrace [-spans] <file>")
+	if flag.NArg() != 1 || (*spansMode && *blackboxMode) {
+		fmt.Println("usage: sovtrace [-spans | -blackbox] <file>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -33,6 +38,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *blackboxMode {
+		sum, err := obs.SummarizeBlackbox(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(sum.Render())
+		return
+	}
 
 	if *spansMode {
 		sum, err := obs.SummarizeSpans(f)

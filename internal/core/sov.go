@@ -189,6 +189,10 @@ func (s *SoV) Cycles() int { return s.cycle }
 // CollisionCount returns the obstacle contacts recorded so far.
 func (s *SoV) CollisionCount() int { return s.report.Collisions }
 
+// ReactiveCount returns the reactive-path engagements recorded so far
+// (live — fleet telemetry reads it between epochs).
+func (s *SoV) ReactiveCount() int { return s.report.ReactiveEngagements }
+
 // Vehicle exposes the vehicle for scenario assertions.
 func (s *SoV) Vehicle() *vehicle.Vehicle { return s.veh }
 

@@ -24,6 +24,7 @@ import (
 	"sov/internal/parallel"
 	"sov/internal/sim"
 	"sov/internal/stats"
+	"sov/internal/telemetry"
 	"sov/internal/world"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// the epoch's dispatch assignments). The encoder is allocation-free
 	// and byte-identical for any worker count.
 	Trace io.Writer
+	// Cloud, when non-nil, receives per-vehicle telemetry events from the
+	// serial barrier (epoch snapshots, assignments, pickups/dropoffs,
+	// collision and reactive-brake deltas, halts), flushed as one store
+	// batch per epoch. The emitted byte stream is byte-identical for any
+	// worker count (see cloud.go).
+	Cloud *telemetry.Ingestor
 }
 
 // maxShards bounds per-shard metric cardinality: shard-aggregated series
@@ -131,6 +138,10 @@ type unit struct {
 	dropoff  float64 // odometer reading at which the trip completes
 	trips    int64
 	boxes    int // detections from the last batched-perception epoch
+
+	// Cloud-uplink deltas: counter values already emitted as events.
+	prevColl  int
+	prevReact int
 }
 
 // rider is one trip request. Slots live in an arena and recycle through a
@@ -208,6 +219,9 @@ type Fleet struct {
 
 	tr *traceWriter
 	m  *fleetMetrics
+
+	cloud    *telemetry.Ingestor
+	cloudErr error
 
 	// Run aggregates (updated serially on barriers).
 	totArrived   int64
@@ -322,6 +336,7 @@ func New(cfg Config) *Fleet {
 	if cfg.Trace != nil {
 		f.tr = newTraceWriter(cfg.Trace)
 	}
+	f.cloud = cfg.Cloud
 	return f
 }
 
@@ -423,6 +438,9 @@ func (f *Fleet) settle() int {
 				u.rider = -1
 			}
 			u.state = stateHalted
+			if f.cloud != nil {
+				f.emitHalt(u)
+			}
 		}
 		switch u.state {
 		case stateToPickup:
@@ -438,6 +456,9 @@ func (f *Fleet) settle() int {
 				if f.m != nil {
 					f.m.waitS.Observe(wait)
 				}
+				if f.cloud != nil {
+					f.emitPickup(u, r.seq, wait)
+				}
 				u.state = stateOnTrip
 			}
 		}
@@ -446,6 +467,9 @@ func (f *Fleet) settle() int {
 			f.tripW.Observe((f.epochEnd - r.pickupT).Seconds())
 			if f.m != nil {
 				f.m.tripS.Observe((f.epochEnd - r.pickupT).Seconds())
+			}
+			if f.cloud != nil {
+				f.emitDropoff(u, r.seq, (f.epochEnd - r.pickupT).Seconds())
 			}
 			f.freeRiders = append(f.freeRiders, u.rider)
 			u.rider = -1
@@ -547,6 +571,9 @@ func (f *Fleet) dispatch() {
 			u.dropoff = u.pickup + r.tripLen
 			f.totAssigned++
 			f.assignments = append(f.assignments, assignment{rider: r.seq, vehicle: best})
+			if f.cloud != nil {
+				f.emitAssign(u, r.seq, bestDist)
+			}
 		}
 	}
 }
@@ -615,6 +642,10 @@ func (f *Fleet) observe(completed int) {
 	}
 	if f.tr != nil {
 		f.tr.record(f, completed)
+	}
+	if f.cloud != nil {
+		f.emitEpochEvents()
+		f.flushCloud()
 	}
 }
 

@@ -114,6 +114,16 @@ var hotKernels = map[string][]string{
 		// zero-steady-state-alloc epoch path.
 		"ringPos", "ringDist", "poisson", "splitSeed", "fillInput",
 	},
+	"sov/internal/telemetry": {
+		// Telemetry-store ingest path (DESIGN.md §14): per-event work on
+		// the fleet barrier's uplink — batcher Add, memtable insert, key
+		// encode/compare, bloom probes, and the secondary-index key
+		// shuffles. Arena/slice growth roots carry //sovlint:ignore
+		// (amortized, like the §11 arenas).
+		"Ingestor.Add", "memtable.put", "appendKey", "Key.Less",
+		"bloom.add", "bloom.test", "bloomHash",
+		"skeyOf", "skey.primary", "skey.less", "bptNode.search",
+	},
 }
 
 // funcKey names a declaration the way hotKernels does.

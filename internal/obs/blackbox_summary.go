@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TriggerSummary is one row of the blackbox triage table: every dump of a
+// trigger kind collapsed to a count and its first/last virtual time.
+type TriggerSummary struct {
+	Trigger      string
+	Dumps        int
+	FirstTMs     float64
+	LastTMs      float64
+	CyclesCaught int // total ring records across the kind's dumps
+}
+
+// BlackboxSummary is the offline triage of a flight-recorder archive
+// (the JSONL stream obs.FlightRecorder writes): per-trigger counts and
+// time spans, oldest trigger first. Malformed lines are skipped and
+// counted, never fatal, matching core.SummarizeTrace — a truncated upload
+// must not hide the rest of the archive.
+type BlackboxSummary struct {
+	Dumps          int
+	MalformedLines int
+	ByTrigger      []TriggerSummary
+}
+
+// SummarizeBlackbox scans a flight-recorder JSONL stream and builds the
+// triage table.
+func SummarizeBlackbox(r io.Reader) (*BlackboxSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 16<<20) // dumps carry whole rings
+	sum := &BlackboxSummary{}
+	rows := map[string]*TriggerSummary{}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var d Dump
+		if err := json.Unmarshal(line, &d); err != nil || d.Trigger == "" {
+			sum.MalformedLines++
+			continue
+		}
+		sum.Dumps++
+		row := rows[d.Trigger]
+		if row == nil {
+			row = &TriggerSummary{Trigger: d.Trigger, FirstTMs: d.TMs, LastTMs: d.TMs}
+			rows[d.Trigger] = row
+		}
+		row.Dumps++
+		if d.TMs < row.FirstTMs {
+			row.FirstTMs = d.TMs
+		}
+		if d.TMs > row.LastTMs {
+			row.LastTMs = d.TMs
+		}
+		row.CyclesCaught += len(d.Records)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sum.ByTrigger = append(sum.ByTrigger, *rows[name])
+	}
+	sort.SliceStable(sum.ByTrigger, func(i, j int) bool {
+		return sum.ByTrigger[i].FirstTMs < sum.ByTrigger[j].FirstTMs
+	})
+	return sum, nil
+}
+
+// Render formats the triage table.
+func (s *BlackboxSummary) Render() string {
+	if s.Dumps == 0 {
+		out := "no flight-recorder dumps\n"
+		if s.MalformedLines > 0 {
+			out += fmt.Sprintf("malformed lines skipped: %d\n", s.MalformedLines)
+		}
+		return out
+	}
+	out := fmt.Sprintf("flight-recorder dumps: %d\n", s.Dumps)
+	if s.MalformedLines > 0 {
+		out += fmt.Sprintf("malformed lines skipped: %d\n", s.MalformedLines)
+	}
+	out += fmt.Sprintf("%-22s %6s %12s %12s %8s\n", "trigger", "dumps", "first (ms)", "last (ms)", "cycles")
+	for _, row := range s.ByTrigger {
+		out += fmt.Sprintf("%-22s %6d %12.1f %12.1f %8d\n",
+			row.Trigger, row.Dumps, row.FirstTMs, row.LastTMs, row.CyclesCaught)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSummarizeBlackboxTriage: dumps group by trigger with counts and
+// first/last times; malformed lines are counted, not fatal; rows order by
+// first occurrence.
+func TestSummarizeBlackboxTriage(t *testing.T) {
+	archive := `{"seq":1,"trigger":"reactive-engagement","t_ms":2500,"cycles_recorded":50,"records":[{"cycle":1,"t_ms":2480},{"cycle":2,"t_ms":2490}]}
+{"seq":2,"trigger":"collision","t_ms":3000,"cycles_recorded":60,"records":[{"cycle":3,"t_ms":2990}]}
+this line is not json
+{"seq":3,"trigger":"reactive-engagement","t_ms":9000,"cycles_recorded":180,"records":[]}
+{"bad":"no trigger field"}
+
+`
+	sum, err := SummarizeBlackbox(strings.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Dumps != 3 || sum.MalformedLines != 2 {
+		t.Fatalf("dumps=%d malformed=%d, want 3/2", sum.Dumps, sum.MalformedLines)
+	}
+	if len(sum.ByTrigger) != 2 {
+		t.Fatalf("rows = %d, want 2", len(sum.ByTrigger))
+	}
+	re := sum.ByTrigger[0]
+	if re.Trigger != "reactive-engagement" || re.Dumps != 2 || re.FirstTMs != 2500 || re.LastTMs != 9000 || re.CyclesCaught != 2 {
+		t.Fatalf("reactive row: %+v", re)
+	}
+	col := sum.ByTrigger[1]
+	if col.Trigger != "collision" || col.Dumps != 1 || col.FirstTMs != 3000 || col.CyclesCaught != 1 {
+		t.Fatalf("collision row: %+v", col)
+	}
+	out := sum.Render()
+	for _, want := range []string{"flight-recorder dumps: 3", "malformed lines skipped: 2", "reactive-engagement", "collision"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSummarizeBlackboxRoundTrip: a real recorder's archive summarizes to
+// its own stats.
+func TestSummarizeBlackboxRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fr := NewFlightRecorder(&buf, 4, 2)
+	for i := 0; i < 6; i++ {
+		fr.Record(CycleRecord{Cycle: i, TMs: float64(i * 100)})
+	}
+	fr.Trigger(TriggerCollision, 450)
+	fr.Record(CycleRecord{Cycle: 6, TMs: 600})
+	fr.Record(CycleRecord{Cycle: 7, TMs: 700, Blocked: true})
+	fr.Record(CycleRecord{Cycle: 8, TMs: 800, Blocked: true})
+	dumps, err := fr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SummarizeBlackbox(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Dumps != dumps || sum.MalformedLines != 0 {
+		t.Fatalf("summary dumps=%d malformed=%d, recorder dumps=%d", sum.Dumps, sum.MalformedLines, dumps)
+	}
+}
+
+// TestSummarizeBlackboxEmpty: an empty archive is fine.
+func TestSummarizeBlackboxEmpty(t *testing.T) {
+	sum, err := SummarizeBlackbox(strings.NewReader(""))
+	if err != nil || sum.Dumps != 0 {
+		t.Fatalf("sum=%+v err=%v", sum, err)
+	}
+	if !strings.Contains(sum.Render(), "no flight-recorder dumps") {
+		t.Fatal("empty render")
+	}
+}

@@ -138,6 +138,46 @@ func (h *Histogram) snapshot() (counts []int64, count int64, sum float64) {
 	return counts, h.count, h.sum
 }
 
+// quantiles is the fixed set every histogram exposes.
+var quantiles = [...]float64{0.50, 0.95, 0.99}
+
+// quantileLabels renders without a float formatter so the exposition
+// bytes never depend on formatting defaults.
+var quantileLabels = [...]string{"0.5", "0.95", "0.99"}
+
+// binQuantile estimates the q-quantile from fixed bins by linear
+// interpolation inside the covering bin: find the first bin whose
+// cumulative count reaches rank q·count, then place the value
+// proportionally between the bin's edges. Pure integer walk plus one
+// fixed-order float expression, so equal snapshots render equal bytes.
+// Returns NaN when the histogram is empty.
+func binQuantile(counts []int64, count int64, lo, width float64, q float64) float64 {
+	if count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(count)
+	cum := int64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			frac := (rank - float64(prev)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + width*(float64(i)+frac)
+		}
+	}
+	return lo + width*float64(len(counts))
+}
+
+// Quantile estimates the q-quantile of the observed distribution from the
+// fixed bins (see binQuantile). NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, count, _ := h.snapshot()
+	return binQuantile(counts, count, h.lo, h.width, q)
+}
+
 type kind uint8
 
 const (
@@ -325,6 +365,16 @@ func (r *Registry) WriteText(w io.Writer, includeHost bool) error {
 			b = append(b, "_count "...)
 			b = strconv.AppendInt(b, count, 10)
 			b = append(b, '\n')
+			if count > 0 {
+				for qi, q := range quantiles {
+					b = append(b, m.name...)
+					b = append(b, `{quantile="`...)
+					b = append(b, quantileLabels[qi]...)
+					b = append(b, `"} `...)
+					b = appendFloat(b, binQuantile(counts, count, m.hist.lo, m.hist.width, q))
+					b = append(b, '\n')
+				}
+			}
 		}
 	}
 	_, err := w.Write(b)
@@ -386,6 +436,12 @@ func (r *Registry) WriteJSON(w io.Writer, includeHost bool) error {
 				b = strconv.AppendInt(b, c, 10)
 			}
 			b = append(b, ']')
+			b = append(b, `,"p50":`...)
+			b = appendJSONFloat(b, binQuantile(counts, count, m.hist.lo, m.hist.width, 0.50))
+			b = append(b, `,"p95":`...)
+			b = appendJSONFloat(b, binQuantile(counts, count, m.hist.lo, m.hist.width, 0.95))
+			b = append(b, `,"p99":`...)
+			b = appendJSONFloat(b, binQuantile(counts, count, m.hist.lo, m.hist.width, 0.99))
 		}
 		b = append(b, '}')
 	}

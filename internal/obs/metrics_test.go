@@ -148,6 +148,76 @@ func TestWriteJSONValidAndInfSafe(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantiles: the fixed-bin quantile estimator interpolates
+// inside the covering bin, clamps to the range, returns NaN when empty,
+// and shows up in both expositions.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "test", ClassVirtual, 0, 100, 10)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	// 100 observations, uniform one per unit in [0, 100): bin i holds 10.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0.50, 50}, // rank 50 = end of bin 4: 40 + 10*(50-40)/10
+		{0.95, 95},
+		{0.99, 99},
+		{1.00, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// A spiked distribution: everything in one bin interpolates within it.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("spike", "test", ClassVirtual, 0, 10, 10)
+	for i := 0; i < 4; i++ {
+		h2.Observe(3.5)
+	}
+	if got := h2.Quantile(0.5); got < 3 || got > 4 {
+		t.Fatalf("spike p50 = %v, want within bin [3,4)", got)
+	}
+
+	var text bytes.Buffer
+	if err := r.WriteText(&text, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`q{quantile="0.5"} 50`, `q{quantile="0.95"} 95`, `q{quantile="0.99"} 99`} {
+		if !bytes.Contains(text.Bytes(), []byte(want)) {
+			t.Fatalf("text exposition missing %q:\n%s", want, text.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js, false); err != nil {
+		t.Fatal(err)
+	}
+	var snap []map[string]any
+	if err := json.Unmarshal(js.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if p95, ok := snap[0]["p95"].(float64); !ok || math.Abs(p95-95) > 1e-9 {
+		t.Fatalf("json p95 = %v", snap[0]["p95"])
+	}
+	// Empty histograms render null percentiles, not NaN (invalid JSON).
+	r3 := NewRegistry()
+	r3.Histogram("empty", "test", ClassVirtual, 0, 1, 2)
+	var js3 bytes.Buffer
+	if err := r3.WriteJSON(&js3, false); err != nil {
+		t.Fatal(err)
+	}
+	var snap3 []map[string]any
+	if err := json.Unmarshal(js3.Bytes(), &snap3); err != nil {
+		t.Fatalf("empty-histogram snapshot invalid: %v\n%s", err, js3.String())
+	}
+	if v, ok := snap3[0]["p50"]; !ok || v != nil {
+		t.Fatalf("empty p50 = %v, want null", v)
+	}
+}
+
 // TestRegistryRejectsBadRegistrations: duplicate and malformed names panic
 // at setup time, not silently collide at exposition time.
 func TestRegistryRejectsBadRegistrations(t *testing.T) {

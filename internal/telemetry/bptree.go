@@ -1,0 +1,191 @@
+package telemetry
+
+// The secondary index is a B+-tree over (kind, time, vehicle, seq): the
+// inverted ordering of the primary key space, so kind-first questions
+// ("all reactive-brake events in hour 3") walk one contiguous leaf range
+// instead of probing every vehicle's timeline. Leaves are linked for
+// in-order range scans; interior nodes hold separator keys only. The tree
+// is memory-resident and rebuilt lazily from the store on first use —
+// every entry it holds also lives in the LSM primary, so it needs no WAL
+// of its own.
+
+// skey is the secondary ordering.
+type skey struct {
+	kind    Kind
+	tMs     uint64
+	vehicle uint32
+	seq     uint32
+}
+
+// skeyOf reorders a primary key.
+//
+//sov:hotpath
+func skeyOf(k Key) skey {
+	return skey{kind: k.Kind, tMs: k.TMs, vehicle: k.Vehicle, seq: k.Seq}
+}
+
+// primary converts back to the primary ordering.
+//
+//sov:hotpath
+func (s skey) primary() Key {
+	return Key{Vehicle: s.vehicle, TMs: s.tMs, Kind: s.kind, Seq: s.seq}
+}
+
+// less orders (kind, t, vehicle, seq).
+//
+//sov:hotpath
+func (s skey) less(o skey) bool {
+	if s.kind != o.kind {
+		return s.kind < o.kind
+	}
+	if s.tMs != o.tMs {
+		return s.tMs < o.tMs
+	}
+	if s.vehicle != o.vehicle {
+		return s.vehicle < o.vehicle
+	}
+	return s.seq < o.seq
+}
+
+// bptOrder is the fan-out: leaves hold up to bptOrder keys, interior nodes
+// up to bptOrder children. 64 keeps the tree ~3 levels deep at millions of
+// events while staying cache-friendly per node.
+const bptOrder = 64
+
+// bptNode is one tree node. Leaves use keys+next; interior nodes use
+// keys as separators (keys[i] = smallest key in children[i+1]).
+type bptNode struct {
+	leaf     bool
+	n        int
+	keys     [bptOrder]skey
+	children [bptOrder + 1]*bptNode
+	next     *bptNode // leaf chain
+}
+
+// bptree is the index proper.
+type bptree struct {
+	root *bptNode
+	size int
+}
+
+func newBPTree() *bptree {
+	return &bptree{root: &bptNode{leaf: true}}
+}
+
+// insert adds a key (duplicates are impossible by construction: Seq
+// disambiguates every event).
+func (t *bptree) insert(k skey) {
+	mid, right := t.root.insert(k)
+	if right != nil {
+		newRoot := &bptNode{}
+		newRoot.keys[0] = mid
+		newRoot.children[0] = t.root
+		newRoot.children[1] = right
+		newRoot.n = 1
+		t.root = newRoot
+	}
+	t.size++
+}
+
+// insert descends to the leaf, splitting full children on the way back up.
+// Returns the separator and new right sibling when this node split.
+func (nd *bptNode) insert(k skey) (skey, *bptNode) {
+	if nd.leaf {
+		i := nd.search(k)
+		copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+		nd.keys[i] = k
+		nd.n++
+		if nd.n < bptOrder {
+			return skey{}, nil
+		}
+		return nd.splitLeaf()
+	}
+	i := nd.search(k)
+	mid, right := nd.children[i].insert(k)
+	if right == nil {
+		return skey{}, nil
+	}
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	copy(nd.children[i+2:nd.n+2], nd.children[i+1:nd.n+1])
+	nd.keys[i] = mid
+	nd.children[i+1] = right
+	nd.n++
+	if nd.n < bptOrder {
+		return skey{}, nil
+	}
+	return nd.splitInterior()
+}
+
+// search returns the index of the first key >= k (leaf) or the child slot
+// to descend into (interior).
+//
+//sov:hotpath
+func (nd *bptNode) search(k skey) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid].less(k) {
+			lo = mid + 1
+		} else if nd.leaf && !k.less(nd.keys[mid]) {
+			// equal in a leaf: insert position is after (append order);
+			// equality cannot occur for inserts but keeps search total.
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (nd *bptNode) splitLeaf() (skey, *bptNode) {
+	half := nd.n / 2
+	right := &bptNode{leaf: true}
+	right.n = copy(right.keys[:], nd.keys[half:nd.n])
+	nd.n = half
+	right.next = nd.next
+	nd.next = right
+	return right.keys[0], right
+}
+
+func (nd *bptNode) splitInterior() (skey, *bptNode) {
+	half := nd.n / 2
+	mid := nd.keys[half]
+	right := &bptNode{}
+	right.n = copy(right.keys[:], nd.keys[half+1:nd.n])
+	copy(right.children[:], nd.children[half+1:nd.n+1])
+	nd.n = half
+	return mid, right
+}
+
+// scanRange calls fn for every key in [lo, hi] in ascending order via the
+// leaf chain. Returning false stops the scan.
+func (t *bptree) scanRange(lo, hi skey, fn func(k skey) bool) {
+	nd := t.root
+	for !nd.leaf {
+		nd = nd.children[nd.search(lo)]
+	}
+	for nd != nil {
+		for i := 0; i < nd.n; i++ {
+			k := nd.keys[i]
+			if k.less(lo) {
+				continue
+			}
+			if hi.less(k) {
+				return
+			}
+			if !fn(k) {
+				return
+			}
+		}
+		nd = nd.next
+	}
+}
+
+// height reports the tree depth (1 = root leaf), for tests.
+func (t *bptree) height() int {
+	h := 1
+	for nd := t.root; !nd.leaf; nd = nd.children[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,598 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sov/internal/parallel"
+)
+
+// Options sizes a store.
+type Options struct {
+	// FlushBytes is the memtable size that triggers a flush to a new
+	// sorted run. Flush decisions are a pure function of ingested bytes,
+	// which is what makes crash-recovery replay land on identical runs.
+	FlushBytes int
+	// Shards is the ingest fan-out: batches are partitioned by
+	// vehicle%Shards, sorted shard-parallel over the worker pool, and
+	// merged serially, so the stored bytes are identical for any value.
+	Shards int
+	// NoCompact disables size-tiered compaction (benchmarks isolate the
+	// pure write path with it).
+	NoCompact bool
+}
+
+// DefaultOptions returns the deployed configuration: 256 KB memtables,
+// 8-way sharded ingest.
+func DefaultOptions() Options {
+	return Options{FlushBytes: 256 << 10, Shards: 8}
+}
+
+// Stats counts the store's I/O work. Write amplification is
+// (WAL + run bytes written) / user bytes; read amplification for a query
+// is run bytes read / result bytes.
+type Stats struct {
+	Events          int64 // events ingested
+	UserBytes       int64 // key+payload bytes handed to Ingest
+	WALBytes        int64 // bytes appended to the write-ahead log
+	RunBytesWritten int64 // bytes written to run files (flush + compaction)
+	RunBytesRead    int64 // data-block bytes read back
+	BlocksRead      int64 // data blocks fetched
+	BloomSkips      int64 // point reads short-circuited by a bloom filter
+	Flushes         int64
+	Compactions     int64
+	Replayed        int64 // events recovered from the WAL at open
+}
+
+// WriteAmplification returns total storage writes per user byte.
+func (s Stats) WriteAmplification() float64 {
+	if s.UserBytes == 0 {
+		return 0
+	}
+	return float64(s.WALBytes+s.RunBytesWritten) / float64(s.UserBytes)
+}
+
+// Store is the LSM-tree telemetry store rooted at one directory:
+// MANIFEST, wal.log, and run-*.sst files. Not safe for concurrent use —
+// the fleet ingests from its serial epoch barrier, and queries run
+// between ingest batches.
+type Store struct {
+	dir  string
+	opts Options
+
+	mem     *memtable
+	runs    []*run // ascending id = oldest first
+	nextRun uint64
+	seq     uint64 // global event sequence (Key.Seq)
+	wal     *walWriter
+
+	idx *bptree // lazy secondary index; nil until first kind query
+
+	stats Stats
+
+	// reused ingest scratch
+	shardIdx   [][]int32
+	batchEnts  []memEntry
+	walBody    []byte
+	heads      []int
+	tierCounts map[int][]int
+}
+
+const manifestName = "MANIFEST"
+
+// Open loads (or creates) a store in dir, replaying any WAL tail left by
+// a crash through the normal ingest path so the recovered state — runs,
+// manifest, memtable — is byte-identical to what a non-crashed store
+// would hold.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = 256 << 10
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:        dir,
+		opts:       opts,
+		mem:        newMemtable(),
+		nextRun:    1,
+		tierCounts: make(map[int][]int),
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	// Replay the WAL tail before opening it for append: these batches were
+	// ingested but not yet flushed when the store last stopped.
+	batches, _, err := readWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.wal, err = openWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	lastFlushed := -1
+	for i, body := range batches {
+		events, err := decodeBatchBody(body)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: wal replay: %w", err)
+		}
+		for _, e := range events {
+			if uint64(e.Key.Seq) >= s.seq {
+				s.seq = uint64(e.Key.Seq) + 1
+			}
+			s.stats.Replayed++
+		}
+		flushesBefore := s.stats.Flushes
+		if err := s.apply(events); err != nil {
+			return nil, err
+		}
+		if s.stats.Flushes != flushesBefore {
+			lastFlushed = i
+		}
+	}
+	// A flush mid-replay truncated the log; re-secure the batches that are
+	// still only in the memtable so a second crash replays them too.
+	if lastFlushed >= 0 {
+		if err := s.wal.reset(); err != nil {
+			return nil, err
+		}
+		for _, body := range batches[lastFlushed+1:] {
+			if err := s.wal.appendBatch(body); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Ingest assigns sequence numbers, logs the batch to the WAL, and applies
+// it to the memtable (flushing and compacting when thresholds trip).
+// Events must carry Vehicle, TMs, Kind, and Payload; Seq is assigned here
+// in submission order.
+func (s *Store) Ingest(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	for i := range events {
+		events[i].Key.Seq = uint32(s.seq)
+		s.seq++
+		s.stats.Events++
+		s.stats.UserBytes += int64(KeySize + len(events[i].Payload))
+	}
+	s.walBody = appendBatchBody(s.walBody[:0], events)
+	if err := s.wal.appendBatch(s.walBody); err != nil {
+		return err
+	}
+	s.stats.WALBytes += int64(8 + len(s.walBody))
+	return s.apply(events)
+}
+
+// apply shard-sorts a batch and folds it into the memtable and (if built)
+// the secondary index, then runs the flush/compaction policy. The merged
+// order is the global key order whatever the shard count.
+func (s *Store) apply(events []Event) error {
+	nsh := s.opts.Shards
+	if nsh > len(events) {
+		nsh = len(events)
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
+	for len(s.shardIdx) < nsh {
+		s.shardIdx = append(s.shardIdx, nil)
+	}
+	shards := s.shardIdx[:nsh]
+	for i := range shards {
+		shards[i] = shards[i][:0]
+	}
+	for i := range events {
+		sh := int(events[i].Key.Vehicle) % nsh
+		shards[sh] = append(shards[sh], int32(i))
+	}
+	// Shard phase: each shard's slice sorts independently on the pool.
+	parallel.For(nsh, 1, func(start, end int) {
+		for sh := start; sh < end; sh++ {
+			idx := shards[sh]
+			sort.Slice(idx, func(a, b int) bool {
+				return events[idx[a]].Key.Less(events[idx[b]].Key)
+			})
+		}
+	})
+	// Serial merge phase: k-way merge of the sorted shards into arena
+	// order; the memtable folds the result in with one linear pass.
+	ents := s.batchEnts[:0]
+	for len(s.heads) < nsh {
+		s.heads = append(s.heads, 0)
+	}
+	heads := s.heads[:nsh]
+	for i := range heads {
+		heads[i] = 0
+	}
+	for {
+		best := -1
+		for sh := 0; sh < nsh; sh++ {
+			if heads[sh] >= len(shards[sh]) {
+				continue
+			}
+			k := events[shards[sh][heads[sh]]].Key
+			if best < 0 || k.Less(events[shards[best][heads[best]]].Key) {
+				best = sh
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := events[shards[best][heads[best]]]
+		heads[best]++
+		ents = append(ents, s.mem.put(e.Key, e.Payload))
+		if s.idx != nil {
+			s.idx.insert(skeyOf(e.Key))
+		}
+	}
+	s.batchEnts = ents[:0]
+	s.mem.mergeBatch(ents)
+	if s.mem.sizeBytes() >= s.opts.FlushBytes {
+		if err := s.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush writes the memtable as a new level-0 run, durably records it in
+// the manifest, resets the WAL, and triggers compaction.
+func (s *Store) flush() error {
+	if s.mem.len() == 0 {
+		return nil
+	}
+	id := s.nextRun
+	s.nextRun++
+	w, err := newRunWriter(runPath(s.dir, id), s.mem.len())
+	if err != nil {
+		return err
+	}
+	for _, e := range s.mem.entries {
+		if err := w.add(e.key, s.mem.arena[e.off:e.off+e.n]); err != nil {
+			return err
+		}
+	}
+	meta, err := w.finish()
+	if err != nil {
+		return err
+	}
+	meta.id = id
+	meta.tier = tierOf(meta.bytes)
+	s.stats.RunBytesWritten += meta.bytes
+	s.stats.Flushes++
+	r, err := openRun(runPath(s.dir, id), meta)
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, r)
+	s.mem.reset()
+	if err := s.writeManifest(); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	if !s.opts.NoCompact {
+		return s.compact()
+	}
+	return nil
+}
+
+// Size-tiered compaction: runs are bucketed by size tier (quadrupling
+// widths); when a tier accumulates tierFanout runs, the oldest tierFanout
+// merge into one run a tier up. Write amplification stays O(log n) per
+// byte instead of the O(n) a single sorted level would cost.
+
+const (
+	tierBase   = 16 << 10
+	tierFanout = 4
+)
+
+// tierOf buckets a run size.
+func tierOf(bytes int64) int {
+	t := 0
+	for x := bytes / tierBase; x >= tierFanout; x /= tierFanout {
+		t++
+	}
+	return t
+}
+
+// compact repeatedly merges the lowest overflowing tier until no tier
+// holds tierFanout runs.
+func (s *Store) compact() error {
+	for {
+		clear(s.tierCounts)
+		maxTier := 0
+		for i, r := range s.runs {
+			s.tierCounts[r.meta.tier] = append(s.tierCounts[r.meta.tier], i)
+			if r.meta.tier > maxTier {
+				maxTier = r.meta.tier
+			}
+		}
+		victim := -1
+		for t := 0; t <= maxTier; t++ {
+			if len(s.tierCounts[t]) >= tierFanout {
+				victim = t
+				break
+			}
+		}
+		if victim < 0 {
+			return nil
+		}
+		// Oldest tierFanout runs of the tier (runs are id-ordered).
+		picks := s.tierCounts[victim][:tierFanout]
+		if err := s.mergeRunsAt(picks); err != nil {
+			return err
+		}
+	}
+}
+
+// mergeRunsAt merges the runs at the given positions (ascending) into a
+// new run, deletes the inputs, and rewrites the manifest.
+func (s *Store) mergeRunsAt(positions []int) error {
+	victims := make([]*run, len(positions))
+	var total uint64
+	for i, p := range positions {
+		victims[i] = s.runs[p]
+		total += s.runs[p].meta.entries
+	}
+	id := s.nextRun
+	s.nextRun++
+	w, err := newRunWriter(runPath(s.dir, id), int(total))
+	if err != nil {
+		return err
+	}
+	if err := mergeRuns(victims, &s.stats, w); err != nil {
+		return err
+	}
+	meta, err := w.finish()
+	if err != nil {
+		return err
+	}
+	meta.id = id
+	meta.tier = tierOf(meta.bytes)
+	s.stats.RunBytesWritten += meta.bytes
+	s.stats.Compactions++
+
+	// Replace victims with the merged run, keeping id order.
+	drop := make(map[int]bool, len(positions))
+	for _, p := range positions {
+		drop[p] = true
+	}
+	kept := s.runs[:0]
+	for i, r := range s.runs {
+		if drop[i] {
+			r.close()
+			os.Remove(runPath(s.dir, r.meta.id))
+			continue
+		}
+		kept = append(kept, r)
+	}
+	nr, err := openRun(runPath(s.dir, id), meta)
+	if err != nil {
+		return err
+	}
+	s.runs = append(kept, nr)
+	sort.Slice(s.runs, func(i, j int) bool { return s.runs[i].meta.id < s.runs[j].meta.id })
+	return s.writeManifest()
+}
+
+// Flush forces the memtable to disk (used by Close and checkpoints).
+func (s *Store) Flush() error { return s.flush() }
+
+// Close flushes the memtable, rewrites the manifest, and closes every
+// file. The WAL is empty after a clean close.
+func (s *Store) Close() error {
+	var first error
+	if err := s.flush(); err != nil {
+		first = err
+	}
+	if err := s.writeManifest(); err != nil && first == nil {
+		first = err
+	}
+	if err := s.wal.close(); err != nil && first == nil {
+		first = err
+	}
+	for _, r := range s.runs {
+		if err := r.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// crash closes every file handle WITHOUT flushing the memtable or
+// resetting the WAL — the crash-recovery tests' process-kill stand-in.
+func (s *Store) crash() {
+	s.wal.close()
+	for _, r := range s.runs {
+		r.close()
+	}
+}
+
+// Stats returns a copy of the I/O counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Runs reports the live run count and total run bytes.
+func (s *Store) Runs() (count int, bytes int64) {
+	for _, r := range s.runs {
+		bytes += r.meta.bytes
+	}
+	return len(s.runs), bytes
+}
+
+// MemLen reports buffered (unflushed) events.
+func (s *Store) MemLen() int { return s.mem.len() }
+
+// Get returns the payload for an exact key: memtable first, then runs
+// newest-to-oldest with bloom-filter short-circuiting.
+func (s *Store) Get(k Key) ([]byte, bool, error) {
+	if p, ok := s.mem.get(k); ok {
+		return p, true, nil
+	}
+	var keyBuf [KeySize]byte
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		p, ok, err := s.runs[i].get(k, keyBuf[:0], &s.stats)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return p, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// manifest serialization — line-oriented text, atomically replaced, byte-
+// identical for a given run set.
+
+func (s *Store) writeManifest() error {
+	var b []byte
+	b = append(b, "sovtelemetry manifest v1\n"...)
+	b = append(b, "next-run "...)
+	b = strconv.AppendUint(b, s.nextRun, 10)
+	b = append(b, "\nseq "...)
+	b = strconv.AppendUint(b, s.seq, 10)
+	b = append(b, '\n')
+	for _, r := range s.runs {
+		m := r.meta
+		b = append(b, "run "...)
+		b = appendUintPad(b, m.id, 6)
+		b = append(b, " tier "...)
+		b = strconv.AppendInt(b, int64(m.tier), 10)
+		b = append(b, " entries "...)
+		b = strconv.AppendUint(b, m.entries, 10)
+		b = append(b, " bytes "...)
+		b = strconv.AppendInt(b, m.bytes, 10)
+		b = append(b, " min "...)
+		b = appendKeyHex(b, m.minKey)
+		b = append(b, " max "...)
+		b = appendKeyHex(b, m.maxKey)
+		b = append(b, " crc "...)
+		b = appendUintHex(b, uint64(m.crc), 8)
+		b = append(b, '\n')
+	}
+	b = append(b, "end\n"...)
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, manifestName))
+}
+
+func (s *Store) loadManifest() error {
+	f, err := os.Open(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != "sovtelemetry manifest v1" {
+		return errors.New("telemetry: bad manifest header")
+	}
+	sawEnd := false
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "next-run":
+			s.nextRun, err = strconv.ParseUint(fields[1], 10, 64)
+		case "seq":
+			s.seq, err = strconv.ParseUint(fields[1], 10, 64)
+		case "run":
+			if len(fields) != 14 {
+				return fmt.Errorf("telemetry: bad manifest run line %q", sc.Text())
+			}
+			var m runMeta
+			m.id, err = strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return err
+			}
+			tier, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return err
+			}
+			m.tier = tier
+			m.entries, err = strconv.ParseUint(fields[5], 10, 64)
+			if err != nil {
+				return err
+			}
+			m.bytes, err = strconv.ParseInt(fields[7], 10, 64)
+			if err != nil {
+				return err
+			}
+			r, err := openRun(runPath(s.dir, m.id), m)
+			if err != nil {
+				return err
+			}
+			s.runs = append(s.runs, r)
+		case "end":
+			sawEnd = true
+		default:
+			return fmt.Errorf("telemetry: unknown manifest line %q", sc.Text())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawEnd {
+		return errors.New("telemetry: truncated manifest")
+	}
+	sort.Slice(s.runs, func(i, j int) bool { return s.runs[i].meta.id < s.runs[j].meta.id })
+	return nil
+}
+
+// ManifestBytes returns the manifest's current on-disk contents (the
+// determinism tests diff it across shard/worker counts).
+func (s *Store) ManifestBytes() ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.dir, manifestName))
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendUintPad(b []byte, v uint64, width int) []byte {
+	var tmp [20]byte
+	n := len(strconv.AppendUint(tmp[:0], v, 10))
+	for i := n; i < width; i++ {
+		b = append(b, '0')
+	}
+	return strconv.AppendUint(b, v, 10)
+}
+
+func appendUintHex(b []byte, v uint64, width int) []byte {
+	for i := width - 1; i >= 0; i-- {
+		b = append(b, hexDigits[(v>>(4*i))&0xf])
+	}
+	return b
+}
+
+func appendKeyHex(b []byte, k Key) []byte {
+	var kb [KeySize]byte
+	enc := appendKey(kb[:0], k)
+	for _, c := range enc {
+		b = append(b, hexDigits[c>>4], hexDigits[c&0xf])
+	}
+	return b
+}

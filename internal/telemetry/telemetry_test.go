@@ -1,0 +1,745 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sov/internal/parallel"
+)
+
+// TestKeyEncodingOrderAgrees: lexicographic order of encoded keys must
+// equal Key.Less, and decode must invert encode.
+func TestKeyEncodingOrderAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]Key, 500)
+	for i := range keys {
+		keys[i] = Key{
+			Vehicle: uint32(rng.Intn(1000)),
+			TMs:     uint64(rng.Intn(100000)),
+			Kind:    Kind(rng.Intn(int(numKinds))),
+			Seq:     uint32(rng.Intn(1 << 20)),
+		}
+	}
+	for i := 0; i < len(keys)-1; i++ {
+		a, b := keys[i], keys[i+1]
+		ea := appendKey(nil, a)
+		eb := appendKey(nil, b)
+		if got := decodeKey(ea); got != a {
+			t.Fatalf("decode(encode(%v)) = %v", a, got)
+		}
+		if a.Less(b) != (bytes.Compare(ea, eb) < 0) && a != b {
+			t.Fatalf("order disagreement: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestKindNames: round-trip and stability of the kind table.
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "unknown" || name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if k, _ := KindByName("reactive-brake"); k != KindReactiveBrake {
+		t.Fatal("reactive-brake mismapped")
+	}
+}
+
+// TestBloomNoFalseNegatives: every inserted key tests positive; absent
+// keys mostly test negative.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	const n = 5000
+	f := newBloom(n)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = appendKey(buf[:0], Key{Vehicle: uint32(i), TMs: uint64(i * 7)})
+		f.add(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf = appendKey(buf[:0], Key{Vehicle: uint32(i), TMs: uint64(i * 7)})
+		if !f.test(buf) {
+			t.Fatalf("false negative at %d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < n; i++ {
+		buf = appendKey(buf[:0], Key{Vehicle: uint32(i + n*10), TMs: uint64(i)})
+		if f.test(buf) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / n; rate > 0.03 {
+		t.Fatalf("false-positive rate %.3f, want < 3%%", rate)
+	}
+	// Marshal round-trip preserves behavior.
+	g := unmarshalBloom(f.marshal())
+	if g == nil {
+		t.Fatal("unmarshal failed")
+	}
+	buf = appendKey(buf[:0], Key{Vehicle: 3, TMs: 21})
+	if !g.test(buf) {
+		t.Fatal("round-tripped filter lost a key")
+	}
+	if unmarshalBloom([]byte{1, 2, 3}) != nil {
+		t.Fatal("bad bloom accepted")
+	}
+}
+
+// TestMemtableMergeAndScan: out-of-order batches merge into global key
+// order; get and scan agree.
+func TestMemtableMergeAndScan(t *testing.T) {
+	m := newMemtable()
+	var batch []memEntry
+	put := func(keys ...Key) {
+		batch = batch[:0]
+		for _, k := range keys {
+			batch = append(batch, m.put(k, []byte(fmt.Sprintf("p%d-%d", k.Vehicle, k.TMs))))
+		}
+		m.mergeBatch(batch)
+	}
+	put(Key{Vehicle: 5, TMs: 10}, Key{Vehicle: 5, TMs: 30})
+	put(Key{Vehicle: 2, TMs: 20}) // merges before
+	put(Key{Vehicle: 5, TMs: 20}) // interleaves
+	put(Key{Vehicle: 9, TMs: 1})  // fast-path append
+	if m.len() != 5 {
+		t.Fatalf("len = %d", m.len())
+	}
+	var got []Key
+	m.scan(Key{}, Key{Vehicle: 1 << 31}, func(k Key, p []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Less(got[j]) }) {
+		t.Fatalf("scan out of order: %v", got)
+	}
+	if p, ok := m.get(Key{Vehicle: 5, TMs: 20}); !ok || string(p) != "p5-20" {
+		t.Fatalf("get = %q, %v", p, ok)
+	}
+	if _, ok := m.get(Key{Vehicle: 5, TMs: 21}); ok {
+		t.Fatal("phantom get")
+	}
+	// Bounded scan.
+	got = got[:0]
+	m.scan(Key{Vehicle: 5}, Key{Vehicle: 5, TMs: 20}, func(k Key, p []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("bounded scan hit %d, want 2", len(got))
+	}
+}
+
+// TestWALFramingAndTornTail: intact frames replay; a torn tail stops the
+// scan without error; mid-log corruption is detected via crc.
+func TestWALFramingAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := appendBatchBody(nil, []Event{{Key: Key{Vehicle: 1, TMs: 5}, Payload: []byte("a")}})
+	b2 := appendBatchBody(nil, []Event{{Key: Key{Vehicle: 2, TMs: 6}, Payload: []byte("bb")}})
+	if err := w.appendBatch(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	batches, torn, err := readWAL(dir)
+	if err != nil || torn || len(batches) != 2 {
+		t.Fatalf("read: %d batches torn=%v err=%v", len(batches), torn, err)
+	}
+	ev, err := decodeBatchBody(batches[1])
+	if err != nil || len(ev) != 1 || string(ev[0].Payload) != "bb" {
+		t.Fatalf("decode: %v %v", ev, err)
+	}
+
+	// Torn tail: append half a frame.
+	path := filepath.Join(dir, walName)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{9, 0, 0, 0, 1, 2})
+	f.Close()
+	batches, torn, err = readWAL(dir)
+	if err != nil || !torn || len(batches) != 2 {
+		t.Fatalf("torn read: %d batches torn=%v err=%v", len(batches), torn, err)
+	}
+
+	// Corrupt a byte inside the first frame's body: crc catches it and the
+	// scan ends there (sequential framing cannot resync).
+	raw, _ := os.ReadFile(path)
+	raw[10] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+	batches, torn, _ = readWAL(dir)
+	if !torn || len(batches) != 0 {
+		t.Fatalf("corrupt read: %d batches torn=%v", len(batches), torn)
+	}
+}
+
+// makeEvents builds a deterministic synthetic fleet workload: V vehicles,
+// E epochs, an epoch snapshot per vehicle plus sparse sparse events.
+func makeEvents(vehicles, epochs int) []Event {
+	var out []Event
+	for e := 1; e <= epochs; e++ {
+		tMs := uint64(e * 1000)
+		for v := 0; v < vehicles; v++ {
+			payload := fmt.Sprintf(`{"soc":%d.%02d,"odo":%d}`, v%2, (v*7+e)%100, v*e)
+			out = append(out, Event{Key: Key{Vehicle: uint32(v), TMs: tMs, Kind: KindEpoch}, Payload: []byte(payload)})
+			if (v+e)%13 == 0 {
+				out = append(out, Event{Key: Key{Vehicle: uint32(v), TMs: tMs, Kind: KindReactiveBrake}, Payload: []byte(`{"d":1.5}`)})
+			}
+			if (v+e)%29 == 0 {
+				out = append(out, Event{Key: Key{Vehicle: uint32(v), TMs: tMs, Kind: KindCollision}, Payload: []byte(`{"x":1}`)})
+			}
+		}
+	}
+	return out
+}
+
+// ingestInBatches pushes events through the store epoch-batch-wise.
+func ingestInBatches(t *testing.T, s *Store, events []Event, batch int) {
+	t.Helper()
+	for off := 0; off < len(events); off += batch {
+		end := off + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		// Copy: Ingest mutates Seq in place and callers reuse buffers.
+		b := make([]Event, end-off)
+		copy(b, events[off:end])
+		if err := s.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// collectScan snapshots a query result (copying payloads).
+func collectScan(t *testing.T, s *Store, q Query) []Event {
+	t.Helper()
+	var out []Event
+	err := s.Scan(q, func(e Event) bool {
+		out = append(out, Event{Key: e.Key, Payload: append([]byte(nil), e.Payload...)})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStoreEndToEnd: ingest a workload big enough to flush and compact,
+// then read every event back in order via Scan and spot-check Get.
+func TestStoreEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{FlushBytes: 8 << 10, Shards: 4}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(40, 60)
+	ingestInBatches(t, s, events, 200)
+
+	st := s.Stats()
+	if st.Flushes == 0 || st.Compactions == 0 {
+		t.Fatalf("want flushes and compactions, got %+v", st)
+	}
+	if st.WriteAmplification() <= 1 {
+		t.Fatalf("write amplification %.2f must exceed 1 (WAL + runs)", st.WriteAmplification())
+	}
+
+	got := collectScan(t, s, Query{})
+	if len(got) != len(events) {
+		t.Fatalf("scan returned %d events, want %d", len(got), len(events))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Key.Less(got[i].Key) {
+			t.Fatalf("scan out of order at %d", i)
+		}
+	}
+	// Every original event present with its payload.
+	want := make(map[Key]string, len(events))
+	for i, e := range events {
+		k := e.Key
+		k.Seq = uint32(i) // Ingest assigns global submission order
+		want[k] = string(e.Payload)
+	}
+	for _, e := range got {
+		if want[e.Key] != string(e.Payload) {
+			t.Fatalf("payload mismatch at %v: %q vs %q", e.Key, e.Payload, want[e.Key])
+		}
+		delete(want, e.Key)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d events missing from scan", len(want))
+	}
+
+	// Point reads: a present key and an absent one (bloom should skip).
+	pk := got[len(got)/2].Key
+	if p, ok, err := s.Get(pk); err != nil || !ok || string(p) != string(got[len(got)/2].Payload) {
+		t.Fatalf("get(%v) = %q %v %v", pk, p, ok, err)
+	}
+	before := s.Stats().BloomSkips
+	if _, ok, _ := s.Get(Key{Vehicle: 9999, TMs: 1}); ok {
+		t.Fatal("phantom key")
+	}
+	if s.Stats().BloomSkips == before && len(s.runs) > 0 {
+		t.Log("note: absent-key probe did not exercise a bloom skip (in-range miss)")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same contents.
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got2 := collectScan(t, s2, Query{})
+	if len(got2) != len(got) {
+		t.Fatalf("reopen scan %d events, want %d", len(got2), len(got))
+	}
+}
+
+// TestRangeQueries: vehicle/time windows and kind filters, primary scan
+// vs B+-tree index agree on the result set.
+func TestRangeQueries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushBytes: 8 << 10, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	events := makeEvents(50, 40)
+	ingestInBatches(t, s, events, 500)
+
+	q := Query{VehicleMin: 10, VehicleMax: 20, TMinMs: 5000, TMaxMs: 20000}
+	prim := collectScan(t, s, q)
+	if len(prim) == 0 {
+		t.Fatal("empty window")
+	}
+	for _, e := range prim {
+		if e.Key.Vehicle < 10 || e.Key.Vehicle > 20 || e.Key.TMs < 5000 || e.Key.TMs > 20000 {
+			t.Fatalf("event outside window: %v", e.Key)
+		}
+	}
+
+	// Kind-filtered, via primary scan and via the secondary index: same
+	// set, index order is time-major.
+	qk := q
+	qk.Kinds = []Kind{KindReactiveBrake}
+	primK := collectScan(t, s, qk)
+	var idxK []Event
+	err = s.ScanByKind(qk, func(e Event) bool {
+		idxK = append(idxK, Event{Key: e.Key, Payload: append([]byte(nil), e.Payload...)})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxK) != len(primK) {
+		t.Fatalf("index query %d events, primary %d", len(idxK), len(primK))
+	}
+	inPrim := make(map[Key]bool)
+	for _, e := range primK {
+		if e.Key.Kind != KindReactiveBrake {
+			t.Fatalf("kind filter leaked %v", e.Key)
+		}
+		inPrim[e.Key] = true
+	}
+	for i, e := range idxK {
+		if !inPrim[e.Key] {
+			t.Fatalf("index-only event %v", e.Key)
+		}
+		if i > 0 && idxK[i-1].Key.TMs > e.Key.TMs {
+			t.Fatal("index scan not time-major")
+		}
+	}
+	if n, h := s.IndexSize(); n == 0 || h < 2 {
+		t.Fatalf("index size %d height %d", n, h)
+	}
+	// Count through the index path.
+	n, err := s.Count(qk)
+	if err != nil || int(n) != len(primK) {
+		t.Fatalf("count = %d want %d (%v)", n, len(primK), err)
+	}
+}
+
+// TestBPTreeAgainstReference: randomized inserts, full and bounded range
+// scans must match a sorted reference slice.
+func TestBPTreeAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tree := newBPTree()
+	var ref []skey
+	for i := 0; i < 20000; i++ {
+		k := skey{
+			kind:    Kind(rng.Intn(4)),
+			tMs:     uint64(rng.Intn(5000)),
+			vehicle: uint32(rng.Intn(300)),
+			seq:     uint32(i),
+		}
+		tree.insert(k)
+		ref = append(ref, k)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i].less(ref[j]) })
+	var got []skey
+	tree.scanRange(skey{}, skey{kind: numKinds, tMs: 1 << 62}, func(k skey) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("full scan %d keys, want %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("order mismatch at %d: %v vs %v", i, got[i], ref[i])
+		}
+	}
+	if tree.height() < 3 {
+		t.Fatalf("height %d, want >= 3 at 20k keys", tree.height())
+	}
+	// Bounded scan.
+	lo := skey{kind: 1, tMs: 1000}
+	hi := skey{kind: 1, tMs: 2000, vehicle: 1 << 31, seq: 1 << 31}
+	var bounded []skey
+	tree.scanRange(lo, hi, func(k skey) bool { bounded = append(bounded, k); return true })
+	for _, k := range bounded {
+		if k.less(lo) || hi.less(k) {
+			t.Fatalf("bounded scan leaked %v", k)
+		}
+	}
+	nWant := 0
+	for _, k := range ref {
+		if !k.less(lo) && !hi.less(k) {
+			nWant++
+		}
+	}
+	if len(bounded) != nWant {
+		t.Fatalf("bounded scan %d keys, want %d", len(bounded), nWant)
+	}
+}
+
+// dirFingerprint hashes every store file's bytes (manifest, runs, wal).
+func dirFingerprint(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[de.Name()] = fmt.Sprintf("%d:%x", len(b), b)
+	}
+	return out
+}
+
+// TestDeterminismAcrossShardsAndWorkers: run files, MANIFEST, and query
+// output must be byte-identical for shard counts {1, 3, 8} × workers
+// {1, 8}.
+func TestDeterminismAcrossShardsAndWorkers(t *testing.T) {
+	events := makeEvents(30, 30)
+	type result struct {
+		files map[string]string
+		rows  string
+		label string
+	}
+	var results []result
+	for _, shards := range []int{1, 3, 8} {
+		for _, workers := range []int{1, 8} {
+			prev := parallel.SetWorkers(workers)
+			dir := t.TempDir()
+			s, err := Open(dir, Options{FlushBytes: 8 << 10, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestInBatches(t, s, events, 170)
+			var rows bytes.Buffer
+			if _, err := s.WriteJSONL(&rows, Query{VehicleMin: 5, VehicleMax: 25, TMinMs: 2000, TMaxMs: 25000}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, result{
+				files: dirFingerprint(t, dir),
+				rows:  rows.String(),
+				label: fmt.Sprintf("shards=%d workers=%d", shards, workers),
+			})
+			parallel.SetWorkers(prev)
+		}
+	}
+	base := results[0]
+	for _, r := range results[1:] {
+		if r.rows != base.rows {
+			t.Fatalf("query rows differ: %s vs %s", base.label, r.label)
+		}
+		if len(r.files) != len(base.files) {
+			t.Fatalf("file sets differ: %s has %d files, %s has %d", base.label, len(base.files), r.label, len(r.files))
+		}
+		for name, fp := range base.files {
+			if r.files[name] != fp {
+				t.Fatalf("file %s differs between %s and %s", name, base.label, r.label)
+			}
+		}
+	}
+	if base.rows == "" {
+		t.Fatal("empty query output")
+	}
+}
+
+// TestCrashRecoveryReplaysToIdenticalStore: a store killed mid-stream
+// (open WAL tail, unflushed memtable) must reopen to the same contents,
+// and after Close its on-disk state must match a never-crashed twin.
+func TestCrashRecoveryReplaysToIdenticalStore(t *testing.T) {
+	events := makeEvents(25, 40)
+	opts := Options{FlushBytes: 8 << 10, Shards: 4}
+
+	cleanDir := t.TempDir()
+	clean, err := Open(cleanDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestInBatches(t, clean, events, 120)
+	cleanRows := collectScan(t, clean, Query{})
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	crashDir := t.TempDir()
+	victim, err := Open(crashDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestInBatches(t, victim, events, 120)
+	if victim.MemLen() == 0 {
+		t.Fatal("test wants unflushed events at crash time; tune batch size")
+	}
+	victim.crash() // no flush, WAL tail left behind
+
+	recovered, err := Open(crashDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Stats().Replayed == 0 {
+		t.Fatal("no WAL replay happened")
+	}
+	recRows := collectScan(t, recovered, Query{})
+	if len(recRows) != len(cleanRows) {
+		t.Fatalf("recovered %d events, clean %d", len(recRows), len(cleanRows))
+	}
+	for i := range recRows {
+		if recRows[i].Key != cleanRows[i].Key || !bytes.Equal(recRows[i].Payload, cleanRows[i].Payload) {
+			t.Fatalf("row %d differs after recovery", i)
+		}
+	}
+	if err := recovered.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close, both directories are byte-identical.
+	cleanFP := dirFingerprint(t, cleanDir)
+	recFP := dirFingerprint(t, crashDir)
+	if len(cleanFP) != len(recFP) {
+		t.Fatalf("file sets differ: clean %d, recovered %d", len(cleanFP), len(recFP))
+	}
+	for name, fp := range cleanFP {
+		if recFP[name] != fp {
+			t.Fatalf("file %s differs between clean close and crash recovery", name)
+		}
+	}
+}
+
+// TestTornWALTailRecovered: garbage appended to the WAL (torn last write)
+// must not block recovery of the intact prefix.
+func TestTornWALTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{FlushBytes: 1 << 20, Shards: 2} // no flush: all in WAL
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(5, 4)
+	ingestInBatches(t, s, events, 7)
+	s.crash()
+	// Tear the tail.
+	f, _ := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{42, 0, 0, 0, 9, 9, 9})
+	f.Close()
+	re, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := collectScan(t, re, Query{})
+	if len(got) != len(events) {
+		t.Fatalf("recovered %d events, want %d", len(got), len(events))
+	}
+}
+
+// TestIngestorAdaptersAndMalformedLines: JSONL adapters key events by
+// t_ms, skip malformed lines with a count, and round-trip payloads.
+func TestIngestorAdaptersAndMalformedLines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	in := NewIngestor(s)
+
+	trace := `{"cycle":1,"t_ms":100.5,"v":2.0}
+not json at all
+{"cycle":2,"t_ms":200.25,"v":2.1}
+
+{"cycle":3,"t_ms":-5}
+`
+	added, malformed, err := in.IngestTrace(7, strings.NewReader(trace))
+	if err != nil || added != 2 || malformed != 2 {
+		t.Fatalf("trace: added=%d malformed=%d err=%v", added, malformed, err)
+	}
+	bb := `{"seq":1,"trigger":"collision","t_ms":1500,"records":[]}` + "\n"
+	added, malformed, err = in.IngestBlackbox(7, strings.NewReader(bb))
+	if err != nil || added != 1 || malformed != 0 {
+		t.Fatalf("blackbox: added=%d malformed=%d err=%v", added, malformed, err)
+	}
+	in.IngestMetrics(3*time.Second, []byte(`[{"name":"x","value":1}]`))
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collectScan(t, s, Query{})
+	if len(got) != 4 {
+		t.Fatalf("got %d events", len(got))
+	}
+	// Keys: trace lines at 100 ms and 200 ms (ms truncation), blackbox at
+	// 1500 ms, metric on the fleet pseudo-vehicle.
+	if got[0].Key != (Key{Vehicle: 7, TMs: 100, Kind: KindLog, Seq: 0}) {
+		t.Fatalf("first key %v", got[0].Key)
+	}
+	if got[2].Key.Kind != KindBlackbox || got[2].Key.TMs != 1500 {
+		t.Fatalf("blackbox key %v", got[2].Key)
+	}
+	if got[3].Key.Vehicle != FleetVehicle || got[3].Key.Kind != KindMetric {
+		t.Fatalf("metric key %v", got[3].Key)
+	}
+	// Payload preserved verbatim.
+	if !strings.Contains(string(got[2].Payload), `"trigger":"collision"`) {
+		t.Fatalf("blackbox payload %q", got[2].Payload)
+	}
+	// JSONL rendering embeds raw payload JSON and names the fleet row.
+	var buf bytes.Buffer
+	if _, err := s.WriteJSONL(&buf, Query{Kinds: []Kind{KindMetric}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"vehicle":"fleet"`) || !strings.Contains(buf.String(), `[{"name":"x","value":1}]`) {
+		t.Fatalf("jsonl row %q", buf.String())
+	}
+}
+
+// TestRunFileCorruptionDetected: a flipped byte in a data block fails the
+// block crc on read; a flipped index byte fails open.
+func TestRunFileCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{FlushBytes: 4 << 10, Shards: 2, NoCompact: true}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestInBatches(t, s, makeEvents(10, 20), 100)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var runFile string
+	des, _ := os.ReadDir(dir)
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".sst") {
+			runFile = filepath.Join(dir, de.Name())
+			break
+		}
+	}
+	if runFile == "" {
+		t.Fatal("no run file")
+	}
+	raw, _ := os.ReadFile(runFile)
+
+	// Flip a data byte (inside the first block, after the magic).
+	mut := append([]byte(nil), raw...)
+	mut[len(runMagic)+3] ^= 0x40
+	os.WriteFile(runFile, mut, 0o644)
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err) // index/footer intact: open succeeds
+	}
+	err = s2.Scan(Query{}, func(Event) bool { return true })
+	if err == nil || !strings.Contains(err.Error(), "crc") {
+		t.Fatalf("scan over corrupt block: %v", err)
+	}
+	s2.crash()
+
+	// Flip an index byte: open fails on the metadata crc.
+	mut = append([]byte(nil), raw...)
+	mut[len(mut)-footerSize-3] ^= 0x01
+	os.WriteFile(runFile, mut, 0o644)
+	if _, err := Open(dir, opts); err == nil {
+		t.Fatal("open accepted corrupt index")
+	}
+	os.WriteFile(runFile, raw, 0o644)
+}
+
+// TestTierOf: size buckets quadruple.
+func TestTierOf(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		tier  int
+	}{
+		{1, 0}, {tierBase, 0}, {tierBase*tierFanout - 1, 0},
+		{tierBase * tierFanout, 1}, {tierBase * tierFanout * tierFanout, 2},
+	}
+	for _, c := range cases {
+		if got := tierOf(c.bytes); got != c.tier {
+			t.Fatalf("tierOf(%d) = %d, want %d", c.bytes, got, c.tier)
+		}
+	}
+}
+
+// TestCompactionReducesRunCount: with compaction on, sustained ingest
+// keeps the run count far below the flush count.
+func TestCompactionReducesRunCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushBytes: 4 << 10, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ingestInBatches(t, s, makeEvents(40, 80), 150)
+	st := s.Stats()
+	runs, _ := s.Runs()
+	if st.Flushes < 8 {
+		t.Fatalf("want many flushes, got %d", st.Flushes)
+	}
+	if runs >= int(st.Flushes) {
+		t.Fatalf("compaction did not reduce runs: %d runs after %d flushes", runs, st.Flushes)
+	}
+	if runs >= tierFanout*4 {
+		t.Fatalf("run count %d not bounded by tiering", runs)
+	}
+}

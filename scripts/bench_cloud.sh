@@ -1,0 +1,119 @@
+#!/bin/sh
+# bench_cloud.sh — run the fleet telemetry backend benchmarks
+# (BenchmarkTelemetry*) and emit a machine-readable snapshot as
+# BENCH_cloud.json: the OLTP ingest path (events/sec and write
+# amplification: WAL + run-rewrite bytes per user byte), the OLAP full
+# scan (rows/sec and read amplification: run bytes read per result byte),
+# the B+-tree kind query, and bloom-guarded point reads (DESIGN.md §14).
+#
+# Usage:
+#   scripts/bench_cloud.sh [output.json]
+#   scripts/bench_cloud.sh --check [baseline.json]
+#
+# Snapshot mode regenerates the JSON wholesale. Check mode is the nightly
+# regression gate: it re-runs the suite (best of three) and fails if any
+# benchmark's throughput fell more than 10% below the committed baseline,
+# or if its amplification factor grew more than 5% (write amp growing
+# means compaction is rewriting more bytes per ingested byte; read amp
+# growing means scans are touching more run bytes per result byte — both
+# are storage-engine regressions even when raw throughput holds).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode=snapshot
+if [ "${1:-}" = "--check" ]; then
+    mode=check
+    shift
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+count=1
+if [ "$mode" = "check" ]; then
+    count=3
+fi
+
+go test -run '^$' -bench 'BenchmarkTelemetry' -benchmem -benchtime 5x -count "$count" . | tee "$raw" >&2
+
+# parse_bench reduces the raw output to "name ns throughput amp" lines,
+# keeping the best (max) throughput across -count runs. throughput is the
+# benchmark's rate metric (events/sec, rows/sec, or gets/sec); amp is its
+# amplification factor (write_amp, read_amp, blocks/get; 0 if none).
+parse_bench() {
+    awk '
+    /^BenchmarkTelemetry/ {
+        name = $1
+        sub(/^BenchmarkTelemetry/, "", name)
+        sub(/-[0-9]+$/, "", name)
+        delete m
+        for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
+        thr = m["events/sec"] + m["rows/sec"] + m["gets/sec"]
+        amp = m["write_amp"] + m["read_amp"] + m["blocks/get"]
+        if (!(name in best) || thr + 0 > best[name] + 0) {
+            best[name] = thr
+            ns[name] = m["ns/op"]
+            am[name] = amp
+        }
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        for (i = 1; i <= n; i++) {
+            k = order[i]
+            print k, ns[k], best[k], am[k] + 0
+        }
+    }
+    ' "$1"
+}
+
+if [ "$mode" = "check" ]; then
+    baseline="${1:-BENCH_cloud.json}"
+    [ -f "$baseline" ] || { echo "bench_cloud: baseline $baseline not found" >&2; exit 2; }
+    parse_bench "$raw" | awk -v baseline="$baseline" '
+    BEGIN {
+        while ((getline line < baseline) > 0) {
+            if (line !~ /"name"/) continue
+            k = line; sub(/.*"name": *"/, "", k); sub(/".*/, "", k)
+            t = line; sub(/.*"throughput_per_sec": */, "", t); sub(/[,}].*/, "", t)
+            a = line; sub(/.*"amplification": */, "", a); sub(/[,}].*/, "", a)
+            base_thr[k] = t + 0
+            base_amp[k] = a + 0
+        }
+    }
+    {
+        k = $1; thr = $3 + 0; amp = $4 + 0
+        if (!(k in base_thr)) {
+            printf "  %-12s %12.0f /sec  (no baseline; informational)\n", k, thr
+            next
+        }
+        ratio = thr / base_thr[k]
+        status = "ok"
+        if (ratio < 0.90) { status = "REGRESSION"; bad++ }
+        if (base_amp[k] > 0 && amp > base_amp[k] * 1.05) {
+            status = status " AMP-REGRESSION"; bad++
+        }
+        printf "  %-12s %12.0f /sec vs baseline %12.0f  (%+5.1f%%, amp %.3f vs %.3f)  %s\n",
+            k, thr, base_thr[k], (ratio - 1) * 100, amp, base_amp[k], status
+    }
+    END {
+        if (bad) { print "bench_cloud: " bad " regression(s) vs " baseline; exit 1 }
+        print "bench_cloud: all points within 10% throughput / 5% amplification of " baseline
+    }
+    '
+    exit $?
+fi
+
+out="${1:-BENCH_cloud.json}"
+cpu="$(awk '/^cpu:/ { sub(/^cpu: */, ""); print; exit }' "$raw")"
+procs="$(awk '/^BenchmarkTelemetry/ { if (match($1, /-[0-9]+$/)) { print substr($1, RSTART + 1); exit } }' "$raw")"
+parse_bench "$raw" | awk -v cpu="$cpu" -v procs="${procs:-1}" '
+{
+    printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"throughput_per_sec\": %s, \"amplification\": %s}",
+        n++ ? ",\n" : "", $1, $2, $3, $4
+}
+BEGIN { printf "{\n  \"benchmark\": \"BenchmarkTelemetry*\",\n  \"results\": [\n" }
+END   { printf "\n  ],\n  \"cpu\": \"%s\",\n  \"num_cpu\": %s\n}\n", cpu, procs }
+' > "$out"
+
+echo "wrote $out" >&2
